@@ -1,0 +1,566 @@
+// Package domd's root benchmark suite regenerates every table and figure of
+// the paper's evaluation as a testing.B benchmark (see DESIGN.md §4 for the
+// experiment index). Data generation and feature extraction are performed
+// once per input size and cached; each benchmark iteration measures only the
+// work the corresponding artifact reports.
+//
+// Benchmark inputs are scaled down from the paper's full workload so the
+// whole suite completes in minutes; `cmd/experiments` runs the full-size
+// versions.
+package domd_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"domd/internal/core"
+	"domd/internal/experiments"
+	"domd/internal/featsel"
+	"domd/internal/features"
+	"domd/internal/fusion"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/ml/linear"
+	"domd/internal/ml/loss"
+	"domd/internal/navsim"
+	"domd/internal/stats"
+	"domd/internal/statusq"
+)
+
+// --- cached fixtures -------------------------------------------------------
+
+var (
+	dataOnce sync.Once
+	baseData *navsim.Dataset
+
+	workloadOnce sync.Once
+	workload     *experiments.Workload
+)
+
+// benchData is the scalability base dataset (1x ≈ 8k RCCs).
+func benchData(b *testing.B) *navsim.Dataset {
+	b.Helper()
+	dataOnce.Do(func() {
+		ds, err := navsim.Generate(navsim.Config{
+			NumClosed: 80, NumOngoing: 4, MeanRCCsPerAvail: 100, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseData = ds
+	})
+	return baseData
+}
+
+// benchWorkload is the modeling workload (tensor + splits).
+func benchWorkload(b *testing.B) *experiments.Workload {
+	b.Helper()
+	workloadOnce.Do(func() {
+		w, err := experiments.NewWorkload(navsim.Config{
+			NumClosed: 60, NumOngoing: 0, MeanRCCsPerAvail: 80, Seed: 1,
+		}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := gbt.DefaultParams()
+		p.NumRounds = 25
+		p.LearningRate = 0.2
+		w.DesignGBT = p
+		w.Runs = 1 // single split redraw: benches time one run
+		workload = w
+	})
+	return workload
+}
+
+func trainCurve(b *testing.B, cfg core.Config) []float64 {
+	b.Helper()
+	w := benchWorkload(b)
+	p, err := core.Train(cfg, w.Tensor, w.Splits.Train, w.Splits.Val)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports, err := p.EvaluateRows(w.Tensor, w.Splits.Val)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, len(reports))
+	for i, r := range reports {
+		out[i] = r.MAE
+	}
+	return out
+}
+
+func baselineCfg(b *testing.B) core.Config {
+	w := benchWorkload(b)
+	cfg := core.BaselineConfig()
+	cfg.GBTParams = &w.DesignGBT
+	return cfg
+}
+
+// --- Fig. 2 / Table 5: dataset --------------------------------------------
+
+func BenchmarkFig2DelayDistribution(b *testing.B) {
+	ds := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delays := ds.Delays()
+		if _, _, err := stats.Histogram(delays, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5DatasetStats(b *testing.B) {
+	ds := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table5(ds)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Fig. 5a / Table 6: index creation ------------------------------------
+
+// scaledIntervals caches the logical-interval projection per scale factor.
+var (
+	scaledMu  sync.Mutex
+	scaledIvs = map[int][]experiments.LogicalInterval{}
+)
+
+func intervalsAt(b *testing.B, factor int) []experiments.LogicalInterval {
+	b.Helper()
+	scaledMu.Lock()
+	defer scaledMu.Unlock()
+	if ivs, ok := scaledIvs[factor]; ok {
+		return ivs
+	}
+	ds, err := navsim.Scale(benchData(b), factor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ivs := experiments.ProjectLogical(ds)
+	scaledIvs[factor] = ivs
+	return ivs
+}
+
+func rawIntervals(ivs []experiments.LogicalInterval) []index.Interval {
+	raw := make([]index.Interval, len(ivs))
+	for i := range ivs {
+		raw[i] = ivs[i].Interval
+	}
+	return raw
+}
+
+func benchCreation(b *testing.B, kind index.Kind, factor int) {
+	raw := rawIntervals(intervalsAt(b, factor))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := index.Build(kind, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx.CreatedBy(-1 << 62) // charge the naive design's lazy sort
+	}
+}
+
+func BenchmarkFig5aIndexCreation(b *testing.B) {
+	for _, factor := range []int{1, 5, 10} {
+		for _, kind := range index.Kinds() {
+			b.Run(fmt.Sprintf("%s/%dx", kind, factor), func(b *testing.B) {
+				benchCreation(b, kind, factor)
+			})
+		}
+	}
+}
+
+func BenchmarkTable6IndexMemory(b *testing.B) {
+	for _, kind := range index.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			raw := rawIntervals(intervalsAt(b, 5))
+			var mem int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx, err := index.Build(kind, raw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mem = idx.MemoryBytes()
+			}
+			b.ReportMetric(float64(mem)/(1<<20), "MB")
+		})
+	}
+}
+
+// --- Fig. 5b / 5c: query processing ----------------------------------------
+
+func builtIndex(b *testing.B, kind index.Kind, factor int) index.TimeIndex {
+	b.Helper()
+	idx, err := index.Build(kind, rawIntervals(intervalsAt(b, factor)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+func BenchmarkFig5bQueryProcessing(b *testing.B) {
+	const factor = 5
+	ivs := intervalsAt(b, factor)
+	for _, kind := range index.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			idx := builtIndex(b, kind, factor)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if kind == index.KindAVL {
+					experiments.SweepIncremental(idx, ivs, 10)
+				} else {
+					experiments.SweepScratch(idx, ivs, 10)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5cTotalTime(b *testing.B) {
+	const factor = 5
+	ivs := intervalsAt(b, factor)
+	for _, kind := range index.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			raw := rawIntervals(ivs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx, err := index.Build(kind, raw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if kind == index.KindAVL {
+					experiments.SweepIncremental(idx, ivs, 10)
+				} else {
+					experiments.SweepScratch(idx, ivs, 10)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 6a: feature selection --------------------------------------------
+
+func BenchmarkFig6aFeatureSelection(b *testing.B) {
+	w := benchWorkload(b)
+	slice := w.Tensor.Slices[len(w.Tensor.Slices)/2].Subset(w.Splits.Train)
+	dynCols := make([]int, slice.NumCols()-features.NumStatic)
+	for j := range dynCols {
+		dynCols[j] = features.NumStatic + j
+	}
+	dyn := slice.Select(dynCols)
+	selectors := map[string]featsel.Selector{
+		featsel.MethodPearson:  featsel.Pearson{},
+		featsel.MethodSpearman: featsel.Spearman{},
+		featsel.MethodMutual:   featsel.MutualInfo{Bins: 8},
+		featsel.MethodRandom:   &featsel.Random{Seed: 1},
+	}
+	for name, sel := range selectors {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(dyn, 60); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run(featsel.MethodRFE, func(b *testing.B) {
+		p := gbt.DefaultParams()
+		p.NumRounds = 10
+		p.MaxDepth = 3
+		sel := &featsel.RFE{Trainer: gbt.NewTrainer(p, nil), Step: 0.5}
+		for i := 0; i < b.N; i++ {
+			if _, err := sel.Select(dyn, 60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Fig. 6b: base model families ------------------------------------------
+
+func BenchmarkFig6bBaseModel(b *testing.B) {
+	b.Run("xgboost", func(b *testing.B) {
+		cfg := baselineCfg(b)
+		for i := 0; i < b.N; i++ {
+			trainCurve(b, cfg)
+		}
+	})
+	b.Run("elasticnet", func(b *testing.B) {
+		cfg := baselineCfg(b)
+		cfg.Family = core.FamilyElasticNet
+		for i := 0; i < b.N; i++ {
+			trainCurve(b, cfg)
+		}
+	})
+}
+
+// --- Fig. 6c: stacking -------------------------------------------------------
+
+func BenchmarkFig6cStacking(b *testing.B) {
+	for _, stacked := range []bool{false, true} {
+		name := "non-stacked"
+		if stacked {
+			name = "stacked"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := baselineCfg(b)
+			cfg.Stacked = stacked
+			for i := 0; i < b.N; i++ {
+				trainCurve(b, cfg)
+			}
+		})
+	}
+}
+
+// --- Fig. 6d: loss functions -------------------------------------------------
+
+func BenchmarkFig6dLoss(b *testing.B) {
+	for _, l := range []string{"l2", "l1", "pseudohuber"} {
+		b.Run(l, func(b *testing.B) {
+			cfg := baselineCfg(b)
+			cfg.Loss = l
+			if l == "pseudohuber" {
+				cfg.LossDelta = loss.PaperDelta
+			}
+			for i := 0; i < b.N; i++ {
+				trainCurve(b, cfg)
+			}
+		})
+	}
+}
+
+// --- Fig. 6e: HPT trials -------------------------------------------------------
+
+func BenchmarkFig6eHPTTrials(b *testing.B) {
+	for _, trials := range []int{10, 30} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			cfg := baselineCfg(b)
+			cfg.HPTTrials = trials
+			cfg.HPTMethod = "tpe"
+			for i := 0; i < b.N; i++ {
+				trainCurve(b, cfg)
+			}
+		})
+	}
+}
+
+// --- Fig. 6f: fusion -----------------------------------------------------------
+
+func BenchmarkFig6fFusion(b *testing.B) {
+	for _, f := range fusion.Methods() {
+		b.Run(f, func(b *testing.B) {
+			cfg := baselineCfg(b)
+			cfg.Fusion = f
+			for i := 0; i < b.N; i++ {
+				trainCurve(b, cfg)
+			}
+		})
+	}
+}
+
+// --- Table 7: final test evaluation ---------------------------------------------
+
+func BenchmarkTable7TestEvaluation(b *testing.B) {
+	w := benchWorkload(b)
+	cfg := core.DefaultConfig()
+	cfg.HPTTrials = 0
+	cfg.GBTParams = &w.DesignGBT
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table7(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- supporting micro-benchmarks (substrate costs) ------------------------------
+
+func BenchmarkFeatureExtractionPerAvailTimestamp(b *testing.B) {
+	ds := benchData(b)
+	ext := features.NewExtractor()
+	a := &ds.Avails[0]
+	eng, err := statusq.NewEngine(a, ds.RCCsByAvail()[a.ID], index.KindAVL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ext.Vector(eng, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBTFit(b *testing.B) {
+	w := benchWorkload(b)
+	slice := w.Tensor.Slices[0].Subset(w.Splits.Train)
+	sel, err := (featsel.Pearson{}).Select(slice, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := slice.Select(sel)
+	p := gbt.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbt.Fit(p, loss.Squared{}, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElasticNetFit(b *testing.B) {
+	w := benchWorkload(b)
+	slice := w.Tensor.Slices[0].Subset(w.Splits.Train)
+	sel, err := (featsel.Pearson{}).Select(slice, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := slice.Select(sel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linear.Fit(linear.DefaultParams(), d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---------------
+
+// BenchmarkAblationBulkVsIncrementalLoad quantifies the bulk-load fast path
+// versus n incremental inserts for the tree indexes.
+func BenchmarkAblationBulkVsIncrementalLoad(b *testing.B) {
+	raw := rawIntervals(intervalsAt(b, 1))
+	for _, kind := range []index.Kind{index.KindAVL, index.KindInterval} {
+		b.Run(string(kind)+"/bulk", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := index.Build(kind, raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(string(kind)+"/incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx, err := index.New(kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range raw {
+					if err := idx.Insert(raw[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCountVsRetrieve contrasts the AVL's O(log n) rank-based
+// cardinality query with materializing the id set — the reason aggregate-only
+// Status Queries skip retrieval.
+func BenchmarkAblationCountVsRetrieve(b *testing.B) {
+	idx := builtIndex(b, index.KindAVL, 5)
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.CountActiveAt(5000)
+		}
+	})
+	b.Run("retrieve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.ActiveAt(5000)
+		}
+	})
+}
+
+// BenchmarkAblationParallelTraining measures the Workers knob on pipeline
+// training (per-timestamp models are independent).
+func BenchmarkAblationParallelTraining(b *testing.B) {
+	w := benchWorkload(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := baselineCfg(b)
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(cfg, w.Tensor, w.Splits.Train, w.Splits.Val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalSweepStep isolates the per-step cost of the
+// incremental Status Query advance versus a full recomputation at one
+// timestamp.
+func BenchmarkAblationIncrementalSweepStep(b *testing.B) {
+	ivs := intervalsAt(b, 5)
+	idx := builtIndex(b, index.KindAVL, 5)
+	b.Run("incremental-window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.CreatedIn(4000, 5000)
+		}
+	})
+	b.Run("scratch-prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.CreatedBy(5000)
+		}
+	})
+	_ = ivs
+}
+
+// BenchmarkAblationTreeMethod contrasts exact greedy split finding with the
+// histogram ("hist") method on the selected 60-feature training slice.
+func BenchmarkAblationTreeMethod(b *testing.B) {
+	w := benchWorkload(b)
+	slice := w.Tensor.Slices[0].Subset(w.Splits.Train)
+	sel, err := (featsel.Pearson{}).Select(slice, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := slice.Select(sel)
+	for _, method := range []string{"exact", "hist"} {
+		b.Run(method, func(b *testing.B) {
+			p := gbt.DefaultParams()
+			p.TreeMethod = method
+			for i := 0; i < b.N; i++ {
+				if _, err := gbt.Fit(p, loss.Squared{}, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSortedVsAVL quantifies how much of the AVL's tree
+// machinery the DoMD workload needs: the flat sorted-array design has the
+// best constants for a build-once/query-many workload but pays O(n) for
+// mutation.
+func BenchmarkAblationSortedVsAVL(b *testing.B) {
+	raw := rawIntervals(intervalsAt(b, 5))
+	for _, kind := range []index.Kind{index.KindAVL, index.KindSorted} {
+		b.Run(string(kind)+"/build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := index.Build(kind, raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(string(kind)+"/count", func(b *testing.B) {
+			idx, err := index.Build(kind, raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.CountActiveAt(5000)
+			}
+		})
+	}
+}

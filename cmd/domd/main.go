@@ -1,0 +1,433 @@
+// Command domd is the DoMD estimation CLI: it loads the NMD tables (CSV, as
+// written by cmd/navsim or exported from the Navy environment), trains the
+// estimation pipeline, and answers DoMD queries, evaluates held-out quality,
+// or runs the greedy pipeline design.
+//
+// Subcommands:
+//
+//	domd query    -avails a.csv -rccs r.csv -avail 188 -date 2023-06-01
+//	domd evaluate -avails a.csv -rccs r.csv
+//	domd design   -avails a.csv -rccs r.csv [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+
+	"domd/internal/backtest"
+	"domd/internal/core"
+	"domd/internal/drift"
+	"domd/internal/domain"
+	"domd/internal/features"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/server"
+	"domd/internal/split"
+	"domd/internal/statusq"
+	"domd/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("domd: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "query":
+		runQuery(args)
+	case "evaluate":
+		runEvaluate(args)
+	case "design":
+		runDesign(args)
+	case "serve":
+		runServe(args)
+	case "backtest":
+		runBacktest(args)
+	case "importances":
+		runImportances(args)
+	case "drift":
+		runDrift(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: domd <query|evaluate|design|serve> [flags]
+  query    estimate delay of one avail at a physical date
+  evaluate train on the historical split and print test-set quality
+  design   run the greedy pipeline design (Problem 2)
+  serve    train (or -load) a pipeline and serve the SMDII JSON API
+  backtest walk-forward (rolling-origin) evaluation across history
+  importances train (or -load) a pipeline and print the global delay drivers
+  drift    compare live feature distributions against a reference fleet`)
+	os.Exit(2)
+}
+
+// commonFlags holds the flags every subcommand shares.
+type commonFlags struct {
+	availsPath, rccsPath string
+	gap                  float64
+	trials               int
+	seed                 int64
+	workers              int
+	// loadPath reuses a pipeline saved with -save instead of retraining;
+	// savePath persists the trained pipeline for later runs.
+	loadPath, savePath string
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.availsPath, "avails", "data/avails.csv", "avail table CSV")
+	fs.StringVar(&c.rccsPath, "rccs", "data/rccs.csv", "RCC table CSV")
+	fs.Float64Var(&c.gap, "gap", 10, "model gap interval x (percent of planned duration)")
+	fs.IntVar(&c.trials, "trials", 30, "AutoHPT trials per timeline model (0 disables tuning)")
+	fs.Int64Var(&c.seed, "seed", 1, "random seed")
+	fs.IntVar(&c.workers, "workers", 1, "concurrent per-timestamp model training")
+	fs.StringVar(&c.loadPath, "load", "", "load a previously saved pipeline (skips training)")
+	fs.StringVar(&c.savePath, "save", "", "save the trained pipeline to this path")
+	return c
+}
+
+func load(c *commonFlags) ([]domain.Avail, []domain.RCC) {
+	af, err := os.Open(c.availsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer af.Close()
+	avails, err := table.ReadAvails(af)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf, err := os.Open(c.rccsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	rccs, err := table.ReadRCCs(rf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return avails, rccs
+}
+
+func buildTensor(c *commonFlags, avails []domain.Avail, rccs []domain.RCC) (*features.Extractor, *features.Tensor, split.Splits) {
+	byAvail := map[int][]domain.RCC{}
+	for _, r := range rccs {
+		byAvail[r.AvailID] = append(byAvail[r.AvailID], r)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, avails, byAvail, c.gap, index.KindAVL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ext, tensor, sp
+}
+
+func trainPipeline(c *commonFlags, tensor *features.Tensor, sp split.Splits) *core.Pipeline {
+	if c.loadPath != "" {
+		f, err := os.Open(c.loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		p, err := core.Load(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	cfg := core.DefaultConfig()
+	cfg.HPTTrials = c.trials
+	cfg.Seed = c.seed
+	cfg.Workers = c.workers
+	p, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if c.savePath != "" {
+		f, err := os.Create(c.savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Save(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved pipeline to %s\n", c.savePath)
+	}
+	return p
+}
+
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	c := addCommon(fs)
+	availID := fs.Int("avail", 0, "avail id to query")
+	date := fs.String("date", "", "physical query date (YYYY-MM-DD)")
+	fs.Parse(args)
+	if *availID == 0 || *date == "" {
+		log.Fatal("query requires -avail and -date")
+	}
+	at, err := domain.ParseDay(*date)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avails, rccs := load(c)
+	ext, tensor, sp := buildTensor(c, avails, rccs)
+	p := trainPipeline(c, tensor, sp)
+	svc := core.NewQueryService(p, ext, index.KindAVL)
+
+	var target *domain.Avail
+	for i := range avails {
+		if avails[i].ID == *availID {
+			target = &avails[i]
+		}
+	}
+	if target == nil {
+		log.Fatalf("avail %d not found", *availID)
+	}
+	var targetRCCs []domain.RCC
+	for _, r := range rccs {
+		if r.AvailID == *availID {
+			targetRCCs = append(targetRCCs, r)
+		}
+	}
+	res, err := svc.Query(target, targetRCCs, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DoMD query: avail %d at %s (t* = %.1f%% of planned duration)\n",
+		res.AvailID, res.At, res.LogicalTime)
+	fmt.Println("  t*(%)   raw est (days)   fused est (days)")
+	for _, e := range res.Estimates {
+		fmt.Printf("  %5.1f   %14.1f   %16.1f\n", e.Timestamp, e.Raw, e.Fused)
+	}
+	fmt.Printf("final estimated delay: %.1f days\n", res.Final())
+	fmt.Println("top-5 contributing features:")
+	for i, d := range res.TopDrivers {
+		desc, err := features.Describe(d.Name)
+		if err != nil {
+			desc = d.Name
+		}
+		fmt.Printf("  %d. %-40s value=%.1f score=%.2f\n     %s\n", i+1, d.Name, d.Value, d.Score, desc)
+	}
+}
+
+func runEvaluate(args []string) {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	c := addCommon(fs)
+	fs.Parse(args)
+	avails, rccs := load(c)
+	_, tensor, sp := buildTensor(c, avails, rccs)
+	p := trainPipeline(c, tensor, sp)
+	reports, err := p.EvaluateRows(tensor, sp.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test-set quality (%d avails held out):\n", len(sp.Test))
+	fmt.Println("  t*(%)   MAE80   MAE90  MAE100      MSE    RMSE     R2")
+	for k, r := range reports {
+		fmt.Printf("  %5.1f  %6.2f  %6.2f  %6.2f  %7.1f  %6.2f  %5.2f\n",
+			p.Timestamps()[k], r.MAE80, r.MAE90, r.MAE, r.MSE, r.RMSE, r.R2)
+	}
+}
+
+func runDesign(args []string) {
+	fs := flag.NewFlagSet("design", flag.ExitOnError)
+	c := addCommon(fs)
+	quick := fs.Bool("quick", false, "use reduced grids for a fast design pass")
+	fs.Parse(args)
+	avails, rccs := load(c)
+	_, tensor, sp := buildTensor(c, avails, rccs)
+
+	opts := core.DesignOptions{Seed: c.seed}
+	if *quick {
+		opts.Ks = []int{20, 60}
+		opts.TrialGrid = []int{10, 30}
+		p := gbt.DefaultParams()
+		p.NumRounds = 20
+		p.LearningRate = 0.25
+		opts.DesignGBT = &p
+	}
+	rep, err := core.Design(tensor, sp.Train, sp.Val, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printStage := func(name string, rs []core.StageResult) {
+		fmt.Printf("%s:\n", name)
+		for _, r := range rs {
+			if r.K > 0 {
+				fmt.Printf("  %-12s k=%-3d sum val MAE = %.2f\n", r.Option, r.K, r.SumValMAE)
+			} else {
+				fmt.Printf("  %-12s sum val MAE = %.2f\n", r.Option, r.SumValMAE)
+			}
+		}
+	}
+	printStage("Task 2: feature selection", rep.FeatureSelection)
+	printStage("Task 3: base model", rep.BaseModel)
+	printStage("Task 3: stacking", rep.Stacking)
+	printStage("Task 4: loss", rep.Loss)
+	printStage("Task 5: HPT trials", rep.HPTTrials)
+	printStage("Task 6: fusion", rep.Fusion)
+	fmt.Printf("selected pipeline: selector=%s k=%d family=%s stacked=%v loss=%s trials=%d fusion=%s\n",
+		rep.Final.Selector, rep.Final.K, rep.Final.Family, rep.Final.Stacked,
+		rep.Final.Loss, rep.Final.HPTTrials, rep.Final.Fusion)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	c := addCommon(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+	avails, rccs := load(c)
+	ext, tensor, sp := buildTensor(c, avails, rccs)
+	p := trainPipeline(c, tensor, sp)
+	catalog, err := statusq.NewCatalog(avails, rccs, index.KindAVL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := server.New(p, ext, catalog, index.KindAVL)
+	fmt.Printf("serving DoMD API on %s (avails: %d, ongoing: %d)\n",
+		*addr, len(catalog.AvailIDs()), len(catalog.OngoingIDs()))
+	log.Fatal(http.ListenAndServe(*addr, h))
+}
+
+func runBacktest(args []string) {
+	fs := flag.NewFlagSet("backtest", flag.ExitOnError)
+	c := addCommon(fs)
+	folds := fs.Int("folds", 3, "number of walk-forward test blocks")
+	minTrain := fs.Int("min-train", 30, "minimum training avails before the first cutoff")
+	fs.Parse(args)
+	avails, rccs := load(c)
+	_, tensor, _ := buildTensor(c, avails, rccs)
+
+	pipeCfg := core.DefaultConfig()
+	pipeCfg.HPTTrials = c.trials
+	pipeCfg.Seed = c.seed
+	pipeCfg.Workers = c.workers
+	btCfg := backtest.DefaultConfig()
+	btCfg.Folds = *folds
+	btCfg.MinTrain = *minTrain
+	btCfg.Seed = c.seed
+
+	results, err := backtest.Run(btCfg, pipeCfg, tensor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("walk-forward backtest:")
+	for i, f := range results {
+		last := f.Reports[len(f.Reports)-1]
+		fmt.Printf("  fold %d: cutoff %s  train %3d  test %3d  @100%%: MAE80 %.1f MAE %.1f R2 %.2f\n",
+			i+1, f.Cutoff, f.NumTrain, f.NumTest, last.MAE80, last.MAE, last.R2)
+	}
+	sum, err := backtest.Summarize(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overall (all folds × timestamps): MAE80 %.1f  MAE %.1f  R2 %.2f\n", sum.MAE80, sum.MAE, sum.R2)
+}
+
+func runImportances(args []string) {
+	fs := flag.NewFlagSet("importances", flag.ExitOnError)
+	c := addCommon(fs)
+	topN := fs.Int("top", 15, "number of features to print")
+	fs.Parse(args)
+	avails, rccs := load(c)
+	_, tensor, sp := buildTensor(c, avails, rccs)
+	p := trainPipeline(c, tensor, sp)
+
+	imp := p.GlobalImportances()
+	type row struct {
+		name  string
+		share float64
+	}
+	rows := make([]row, 0, len(imp))
+	for name, share := range imp {
+		rows = append(rows, row{name, share})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	if *topN > len(rows) {
+		*topN = len(rows)
+	}
+	fmt.Printf("global delay drivers (share of total model gain, top %d):\n", *topN)
+	for _, r := range rows[:*topN] {
+		desc, err := features.Describe(r.name)
+		if err != nil {
+			desc = r.name
+		}
+		fmt.Printf("  %5.1f%%  %-40s %s\n", r.share*100, r.name, desc)
+	}
+}
+
+func runDrift(args []string) {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	c := addCommon(fs)
+	liveAvails := fs.String("live-avails", "", "live avail table CSV")
+	liveRCCs := fs.String("live-rccs", "", "live RCC table CSV")
+	tstar := fs.Float64("tstar", 50, "logical time at which to compare feature distributions")
+	topN := fs.Int("top", 10, "number of drifting features to print")
+	fs.Parse(args)
+	if *liveAvails == "" || *liveRCCs == "" {
+		log.Fatal("drift requires -live-avails and -live-rccs")
+	}
+
+	ext := features.NewExtractor()
+	matrix := func(availsPath, rccsPath string) [][]float64 {
+		cc := *c
+		cc.availsPath, cc.rccsPath = availsPath, rccsPath
+		avails, rccs := load(&cc)
+		byAvail := map[int][]domain.RCC{}
+		for _, r := range rccs {
+			byAvail[r.AvailID] = append(byAvail[r.AvailID], r)
+		}
+		var X [][]float64
+		for i := range avails {
+			a := &avails[i]
+			eng, err := statusq.NewEngine(a, byAvail[a.ID], index.KindAVL)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vec, err := ext.Vector(eng, *tstar)
+			if err != nil {
+				log.Fatal(err)
+			}
+			X = append(X, vec)
+		}
+		return X
+	}
+
+	det, err := drift.NewDetector(drift.Config{}, matrix(c.availsPath, c.rccsPath), ext.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := det.Check(matrix(*liveAvails, *liveRCCs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	severe := 0
+	for _, r := range reports {
+		if r.Severity == drift.Severe {
+			severe++
+		}
+	}
+	fmt.Printf("feature drift at t*=%.0f%%: %d severe of %d features\n", *tstar, severe, len(reports))
+	if *topN > len(reports) {
+		*topN = len(reports)
+	}
+	for _, r := range reports[:*topN] {
+		fmt.Printf("  PSI %5.2f (excess %5.2f, %-8s) %s\n", r.PSI, r.Excess, r.Severity, r.Name)
+	}
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic NMD. Run one artifact with -exp, or everything with -exp all.
+//
+//	experiments -exp fig5a
+//	experiments -exp table7 -quick
+//	experiments -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"domd/internal/core"
+	"domd/internal/experiments"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	exp := flag.String("exp", "all", "artifact id: fig2 table5 fig5a fig5b fig5c table6 fig6a fig6b fig6c fig6d fig6e fig6f table7, or all")
+	quick := flag.Bool("quick", false, "reduced dataset and grids (minutes → seconds)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	dataCfg := navsim.DefaultConfig()
+	dataCfg.Seed = *seed
+	scaleFactors := []int{1, 5, 10, 15, 20}
+	gap := 10.0
+	ks := []int{20, 30, 40, 50, 60, 70, 80, 90, 100}
+	trialGrid := []int{10, 20, 30, 40, 50, 100, 200}
+	if *quick {
+		dataCfg.NumClosed = 60
+		dataCfg.MeanRCCsPerAvail = 80
+		scaleFactors = []int{1, 5, 10}
+		gap = 20
+		ks = []int{20, 60, 100}
+		trialGrid = []int{10, 30}
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+
+	// --- Data artifacts.
+	if want("fig2") || want("table5") {
+		ds, err := navsim.Generate(dataCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("table5") {
+			fmt.Println(experiments.Table5(ds))
+			ran = true
+		}
+		if want("fig2") {
+			t, err := experiments.Fig2(ds, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(t)
+			ran = true
+		}
+	}
+
+	// --- Scalability artifacts.
+	if want("fig5a") || want("fig5b") || want("fig5c") || want("table6") {
+		ds, err := navsim.Generate(dataCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := experiments.RunScalability(ds, scaleFactors, gap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("fig5a") {
+			fmt.Println(experiments.Fig5a(ms))
+			ran = true
+		}
+		if want("table6") {
+			fmt.Println(experiments.Table6(ms))
+			ran = true
+		}
+		if want("fig5b") {
+			fmt.Println(experiments.Fig5b(ms))
+			ran = true
+		}
+		if want("fig5c") {
+			fmt.Println(experiments.Fig5c(ms))
+			ran = true
+		}
+	}
+
+	// --- Modeling artifacts (the two ablation-* ids are extensions beyond
+	// the paper; "all" includes them).
+	modeling := []string{"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6f-ext", "ablation-stacking", "table7"}
+	needModeling := false
+	for _, id := range modeling {
+		if want(id) {
+			needModeling = true
+		}
+	}
+	if needModeling {
+		w, err := experiments.NewWorkload(dataCfg, gap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Seed = *seed
+		if *quick {
+			p := gbt.DefaultParams()
+			p.NumRounds = 20
+			p.LearningRate = 0.25
+			w.DesignGBT = p
+			w.Runs = 1 // quick mode skips the 3-run averaging
+		}
+		run := func(id string, fn func() (*experiments.Table, error)) {
+			if !want(id) {
+				return
+			}
+			t, err := fn()
+			if err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			fmt.Println(t)
+			ran = true
+		}
+		run("fig6a", func() (*experiments.Table, error) { return experiments.Fig6a(w, nil, ks) })
+		run("fig6b", func() (*experiments.Table, error) { return experiments.Fig6b(w) })
+		run("fig6c", func() (*experiments.Table, error) { return experiments.Fig6c(w) })
+		run("fig6d", func() (*experiments.Table, error) { return experiments.Fig6d(w) })
+		run("fig6e", func() (*experiments.Table, error) { return experiments.Fig6e(w, trialGrid) })
+		run("fig6f", func() (*experiments.Table, error) { return experiments.Fig6f(w) })
+		run("fig6f-ext", func() (*experiments.Table, error) { return experiments.Fig6fExt(w) })
+		run("ablation-stacking", func() (*experiments.Table, error) { return experiments.AblationStacking(w) })
+		run("table7", func() (*experiments.Table, error) {
+			cfg := core.DefaultConfig()
+			if *quick {
+				cfg.HPTTrials = 10
+			}
+			t, _, err := experiments.Table7(w, cfg)
+			return t, err
+		})
+	}
+
+	if !ran {
+		log.Fatalf("unknown experiment %q (valid: fig2 table5 fig5a fig5b fig5c table6 %s all)",
+			*exp, strings.Join(modeling, " "))
+	}
+}

@@ -1,0 +1,109 @@
+// Command navsim generates a synthetic Navy Maintenance Database (avail and
+// RCC tables) as CSV, optionally applying the CUI-style obfuscation stage.
+//
+// Usage:
+//
+//	navsim -out data/ [-closed 187] [-ongoing 6] [-rccs 283] [-seed 1]
+//	       [-scale 1] [-obfuscate] [-obf-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"domd/internal/domain"
+	"domd/internal/navsim"
+	"domd/internal/obfuscate"
+	"domd/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("navsim: ")
+
+	out := flag.String("out", "data", "output directory for avails.csv and rccs.csv")
+	closed := flag.Int("closed", 187, "number of closed avails")
+	ongoing := flag.Int("ongoing", 6, "number of ongoing avails")
+	rccs := flag.Float64("rccs", 283, "mean RCCs per avail")
+	seed := flag.Int64("seed", 1, "generation seed")
+	scale := flag.Int("scale", 1, "x-fold RCC scaling factor (temporal distribution preserved)")
+	obf := flag.Bool("obfuscate", false, "apply the CUI obfuscation stage before writing")
+	obfSeed := flag.Int64("obf-seed", 42, "obfuscation key seed")
+	keyPath := flag.String("key", "", "write the obfuscation key (JSON) to this path")
+	flag.Parse()
+
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: *closed, NumOngoing: *ongoing,
+		MeanRCCsPerAvail: *rccs, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale > 1 {
+		ds, err = navsim.Scale(ds, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	avails, rccRows := ds.Avails, ds.RCCs
+	if *obf {
+		key := obfuscate.NewKey(*obfSeed)
+		o, err := obfuscate.New(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avails, rccRows = o.Apply(avails, rccRows)
+		if *keyPath != "" {
+			f, err := os.Create(*keyPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := obfuscate.SaveKey(f, key); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCSV(filepath.Join(*out, "avails.csv"), func(f *os.File) error {
+		return table.WriteAvails(f, avails)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCSV(filepath.Join(*out, "rccs.csv"), func(f *os.File) error {
+		return table.WriteRCCs(f, rccRows)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	closedCount := 0
+	for i := range avails {
+		if avails[i].Status == domain.StatusClosed {
+			closedCount++
+		}
+	}
+	fmt.Printf("wrote %s: %d avails (%d closed), %d RCCs (obfuscated=%v)\n",
+		*out, len(avails), closedCount, len(rccRows), *obf)
+}
+
+func writeCSV(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,3 @@
+module domd
+
+go 1.22

@@ -1,0 +1,157 @@
+// Package backtest evaluates the DoMD pipeline with walk-forward
+// (rolling-origin) validation: train on all availabilities planned before a
+// cutoff, test on the next chronological block, then roll the cutoff
+// forward. This extends the paper's single recent-30% holdout (§5.2.1) to
+// the evaluation a deployed SMDII back end runs before every model refresh —
+// it answers "would this pipeline have worked at every point in the past?",
+// not just at one split.
+package backtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"domd/internal/core"
+	"domd/internal/domain"
+	"domd/internal/features"
+	"domd/internal/metrics"
+)
+
+// Config controls the walk-forward schedule.
+type Config struct {
+	// Folds is the number of chronological test blocks (>= 1).
+	Folds int
+	// MinTrain is the minimum number of training avails for the first
+	// fold; earlier avails than this are never tested on.
+	MinTrain int
+	// ValFrac is the share of each fold's training block held out for
+	// validation/tuning (as §5.2.1's 25%).
+	ValFrac float64
+	// Seed drives the validation draw.
+	Seed int64
+}
+
+// DefaultConfig uses 3 folds with the paper's 25% validation share.
+func DefaultConfig() Config {
+	return Config{Folds: 3, MinTrain: 30, ValFrac: 0.25, Seed: 1}
+}
+
+// Validate rejects degenerate schedules.
+func (c Config) Validate() error {
+	if c.Folds < 1 {
+		return fmt.Errorf("backtest: folds %d < 1", c.Folds)
+	}
+	if c.MinTrain < 4 {
+		return fmt.Errorf("backtest: min train %d < 4", c.MinTrain)
+	}
+	if c.ValFrac <= 0 || c.ValFrac >= 1 {
+		return fmt.Errorf("backtest: val fraction %f outside (0,1)", c.ValFrac)
+	}
+	return nil
+}
+
+// FoldResult is one walk-forward step.
+type FoldResult struct {
+	// Cutoff is the planned-start date splitting train from test.
+	Cutoff domain.Day
+	// NumTrain and NumTest count avails on each side.
+	NumTrain, NumTest int
+	// TrainRows and TestRows are the tensor row indices of each side
+	// (train includes the validation draw).
+	TrainRows, TestRows []int
+	// Reports holds the per-t* quality on the fold's test block.
+	Reports []metrics.Report
+}
+
+// Summary averages a measure over folds and timestamps.
+type Summary struct {
+	MAE80, MAE, R2 float64
+}
+
+// Run executes the walk-forward schedule with the given pipeline
+// configuration over a prebuilt tensor.
+func Run(cfg Config, pipeCfg core.Config, tensor *features.Tensor) ([]FoldResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Chronological order by planned start.
+	order := make([]int, len(tensor.Avails))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tensor.Avails[order[a]].PlanStart < tensor.Avails[order[b]].PlanStart
+	})
+	n := len(order)
+	testable := n - cfg.MinTrain
+	if testable < cfg.Folds {
+		return nil, fmt.Errorf("backtest: %d avails leave %d testable rows for %d folds", n, testable, cfg.Folds)
+	}
+	blockSize := testable / cfg.Folds
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []FoldResult
+	for f := 0; f < cfg.Folds; f++ {
+		cut := cfg.MinTrain + f*blockSize
+		end := cut + blockSize
+		if f == cfg.Folds-1 {
+			end = n
+		}
+		trainAll := append([]int(nil), order[:cut]...)
+		test := append([]int(nil), order[cut:end]...)
+
+		// Random validation draw inside the training block.
+		rng.Shuffle(len(trainAll), func(i, j int) { trainAll[i], trainAll[j] = trainAll[j], trainAll[i] })
+		nVal := int(cfg.ValFrac * float64(len(trainAll)))
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal >= len(trainAll) {
+			nVal = len(trainAll) - 1
+		}
+		val, train := trainAll[:nVal], trainAll[nVal:]
+
+		p, err := core.Train(pipeCfg, tensor, train, val)
+		if err != nil {
+			return nil, fmt.Errorf("backtest: fold %d: %w", f, err)
+		}
+		reports, err := p.EvaluateRows(tensor, test)
+		if err != nil {
+			return nil, fmt.Errorf("backtest: fold %d: %w", f, err)
+		}
+		out = append(out, FoldResult{
+			Cutoff:    tensor.Avails[order[cut]].PlanStart,
+			NumTrain:  len(trainAll),
+			NumTest:   len(test),
+			TrainRows: trainAll,
+			TestRows:  test,
+			Reports:   reports,
+		})
+	}
+	return out, nil
+}
+
+// Summarize averages MAE-80, MAE and R² across folds and timestamps.
+func Summarize(folds []FoldResult) (Summary, error) {
+	if len(folds) == 0 {
+		return Summary{}, fmt.Errorf("backtest: no folds")
+	}
+	var s Summary
+	count := 0
+	for _, f := range folds {
+		for _, r := range f.Reports {
+			s.MAE80 += r.MAE80
+			s.MAE += r.MAE
+			s.R2 += r.R2
+			count++
+		}
+	}
+	if count == 0 {
+		return Summary{}, fmt.Errorf("backtest: folds carry no reports")
+	}
+	s.MAE80 /= float64(count)
+	s.MAE /= float64(count)
+	s.R2 /= float64(count)
+	return s, nil
+}

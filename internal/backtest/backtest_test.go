@@ -1,0 +1,140 @@
+package backtest
+
+import (
+	"testing"
+
+	"domd/internal/core"
+	"domd/internal/features"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+)
+
+func testTensor(t *testing.T, n int) *features.Tensor {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: n, NumOngoing: 0, MeanRCCsPerAvail: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tensor
+}
+
+func fastPipe() core.Config {
+	cfg := core.BaselineConfig()
+	p := gbt.DefaultParams()
+	p.NumRounds = 15
+	p.LearningRate = 0.3
+	cfg.GBTParams = &p
+	return cfg
+}
+
+func TestWalkForward(t *testing.T) {
+	tensor := testTensor(t, 70)
+	cfg := DefaultConfig()
+	cfg.MinTrain = 25
+	folds, err := Run(cfg, fastPipe(), tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("%d folds, want 3", len(folds))
+	}
+	totalTest := 0
+	for i, f := range folds {
+		if f.NumTrain < cfg.MinTrain {
+			t.Errorf("fold %d: train %d < min %d", i, f.NumTrain, cfg.MinTrain)
+		}
+		if f.NumTest < 1 {
+			t.Errorf("fold %d: empty test block", i)
+		}
+		if len(f.Reports) != len(tensor.Timestamps) {
+			t.Errorf("fold %d: %d reports", i, len(f.Reports))
+		}
+		totalTest += f.NumTest
+		// Cutoffs strictly advance.
+		if i > 0 && f.Cutoff <= folds[i-1].Cutoff {
+			t.Errorf("fold %d cutoff %v not after %v", i, f.Cutoff, folds[i-1].Cutoff)
+		}
+		// Training sets grow.
+		if i > 0 && f.NumTrain <= folds[i-1].NumTrain {
+			t.Errorf("fold %d train %d should exceed fold %d's %d", i, f.NumTrain, i-1, folds[i-1].NumTrain)
+		}
+	}
+	if totalTest != 70-25 {
+		t.Errorf("test blocks cover %d avails, want 45", totalTest)
+	}
+	sum, err := Summarize(folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MAE80 <= 0 || sum.MAE <= 0 || sum.MAE80 > sum.MAE {
+		t.Errorf("summary %+v inconsistent", sum)
+	}
+}
+
+func TestTemporalIntegrity(t *testing.T) {
+	// Every test avail must start no earlier than every training avail of
+	// its fold — the property that makes walk-forward honest.
+	tensor := testTensor(t, 50)
+	cfg := DefaultConfig()
+	cfg.MinTrain = 20
+	cfg.Folds = 2
+	folds, err := Run(cfg, fastPipe(), tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range folds {
+		var maxTrain = tensor.Avails[f.TrainRows[0]].PlanStart
+		for _, r := range f.TrainRows {
+			if s := tensor.Avails[r].PlanStart; s > maxTrain {
+				maxTrain = s
+			}
+		}
+		for _, r := range f.TestRows {
+			if tensor.Avails[r].PlanStart < maxTrain {
+				t.Fatalf("fold %d: test avail starting %v precedes training avail starting %v",
+					i, tensor.Avails[r].PlanStart, maxTrain)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Folds: 0, MinTrain: 10, ValFrac: 0.25},
+		{Folds: 2, MinTrain: 1, ValFrac: 0.25},
+		{Folds: 2, MinTrain: 10, ValFrac: 0},
+		{Folds: 2, MinTrain: 10, ValFrac: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestTooFewAvails(t *testing.T) {
+	tensor := testTensor(t, 12)
+	cfg := DefaultConfig()
+	cfg.MinTrain = 10
+	cfg.Folds = 5
+	if _, err := Run(cfg, fastPipe(), tensor); err == nil {
+		t.Error("too few testable rows: want error")
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("no folds: want error")
+	}
+	if _, err := Summarize([]FoldResult{{}}); err == nil {
+		t.Error("empty reports: want error")
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"domd/internal/featsel"
+	"domd/internal/features"
+	"domd/internal/fusion"
+	"domd/internal/ml/gbt"
+)
+
+// DesignOptions parameterize the greedy sequential optimization of Problem
+// 2. Zero-value fields take the paper's §5.2.1 grids.
+type DesignOptions struct {
+	// Selectors to compare (default: the paper's five).
+	Selectors []string
+	// Ks is the feature-budget grid (default 20..100 step 10).
+	Ks []int
+	// Families to compare (default XGBoost, ElasticNet).
+	Families []ModelFamily
+	// Losses to compare (default l2, l1, pseudohuber).
+	Losses []string
+	// TrialGrid is the AutoHPT budget grid (default the paper's
+	// [10,20,30,40,50,100,200]).
+	TrialGrid []int
+	// Fusions to compare (default none, min, average).
+	Fusions []string
+	// DesignGBT overrides the default booster used while searching (a
+	// lighter configuration keeps the search affordable; the final
+	// pipeline is tuned properly regardless). Nil uses a 40-round booster.
+	DesignGBT *gbt.Params
+	// Seed drives stochastic components.
+	Seed int64
+}
+
+func (o *DesignOptions) defaults() {
+	if len(o.Selectors) == 0 {
+		o.Selectors = featsel.Methods()
+	}
+	if len(o.Ks) == 0 {
+		for k := 20; k <= 100; k += 10 {
+			o.Ks = append(o.Ks, k)
+		}
+	}
+	if len(o.Families) == 0 {
+		o.Families = []ModelFamily{FamilyXGBoost, FamilyElasticNet}
+	}
+	if len(o.Losses) == 0 {
+		o.Losses = []string{"l2", "l1", "pseudohuber"}
+	}
+	if len(o.TrialGrid) == 0 {
+		o.TrialGrid = []int{10, 20, 30, 40, 50, 100, 200}
+	}
+	if len(o.Fusions) == 0 {
+		o.Fusions = fusion.Methods()
+	}
+	if o.DesignGBT == nil {
+		p := gbt.DefaultParams()
+		p.NumRounds = 40
+		p.LearningRate = 0.15
+		o.DesignGBT = &p
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// StageResult records one evaluated option of a design stage.
+type StageResult struct {
+	// Option names the evaluated choice ("pearson", "xgboost", "stacked",
+	// "l1", "30", "average", ...).
+	Option string
+	// K is the feature budget (feature-selection stage only).
+	K int
+	// SumValMAE is the Problem 2 objective: validation MAE summed over
+	// the timeline.
+	SumValMAE float64
+}
+
+// DesignReport is the full trace of the greedy design: every stage's
+// evaluations (the data behind Figs. 6a–6f) and the winning configuration.
+type DesignReport struct {
+	FeatureSelection []StageResult
+	BaseModel        []StageResult
+	Stacking         []StageResult
+	Loss             []StageResult
+	HPTTrials        []StageResult
+	Fusion           []StageResult
+	// Final is the selected configuration x̂ = (ŝ, m̂, l̂, p̂, f̂).
+	Final Config
+}
+
+// evalConfig trains cfg on trainRows and returns the summed validation MAE.
+func evalConfig(cfg Config, tensor *features.Tensor, trainRows, valRows []int) (float64, error) {
+	p, err := Train(cfg, tensor, trainRows, valRows)
+	if err != nil {
+		return 0, err
+	}
+	return p.SumValMAE(tensor, valRows)
+}
+
+// Design runs the greedy sequential optimization of Problem 2 on the given
+// tensor: each stage fixes one coordinate of x̂ by minimizing the summed
+// validation MAE with all later coordinates at their defaults.
+func Design(tensor *features.Tensor, trainRows, valRows []int, opts DesignOptions) (*DesignReport, error) {
+	opts.defaults()
+	if len(valRows) == 0 {
+		return nil, fmt.Errorf("core: design requires validation rows")
+	}
+	rep := &DesignReport{}
+
+	cfg := BaselineConfig()
+	cfg.Seed = opts.Seed
+	cfg.GBTParams = opts.DesignGBT
+
+	// --- Task 2: feature selection method and k.
+	best := StageResult{SumValMAE: inf()}
+	for _, sel := range opts.Selectors {
+		for _, k := range opts.Ks {
+			c := cfg
+			c.Selector = sel
+			c.K = k
+			mae, err := evalConfig(c, tensor, trainRows, valRows)
+			if err != nil {
+				return nil, fmt.Errorf("core: design selector %s k=%d: %w", sel, k, err)
+			}
+			r := StageResult{Option: sel, K: k, SumValMAE: mae}
+			rep.FeatureSelection = append(rep.FeatureSelection, r)
+			if mae < best.SumValMAE {
+				best = r
+			}
+		}
+	}
+	cfg.Selector = best.Option
+	cfg.K = best.K
+
+	// --- Task 3a: base model family.
+	best = StageResult{SumValMAE: inf()}
+	for _, fam := range opts.Families {
+		c := cfg
+		c.Family = fam
+		mae, err := evalConfig(c, tensor, trainRows, valRows)
+		if err != nil {
+			return nil, fmt.Errorf("core: design family %s: %w", fam, err)
+		}
+		r := StageResult{Option: string(fam), SumValMAE: mae}
+		rep.BaseModel = append(rep.BaseModel, r)
+		if mae < best.SumValMAE {
+			best = r
+		}
+	}
+	cfg.Family = ModelFamily(best.Option)
+
+	// --- Task 3b: stacked vs non-stacked architecture.
+	best = StageResult{SumValMAE: inf()}
+	for _, stacked := range []bool{false, true} {
+		c := cfg
+		c.Stacked = stacked
+		name := "non-stacked"
+		if stacked {
+			name = "stacked"
+		}
+		mae, err := evalConfig(c, tensor, trainRows, valRows)
+		if err != nil {
+			return nil, fmt.Errorf("core: design %s: %w", name, err)
+		}
+		r := StageResult{Option: name, SumValMAE: mae}
+		rep.Stacking = append(rep.Stacking, r)
+		if mae < best.SumValMAE {
+			best = r
+		}
+	}
+	cfg.Stacked = best.Option == "stacked"
+
+	// --- Task 4: loss function (meaningful for the boosted family only).
+	if cfg.Family == FamilyXGBoost {
+		best = StageResult{SumValMAE: inf()}
+		for _, l := range opts.Losses {
+			c := cfg
+			c.Loss = l
+			if l == "pseudohuber" || l == "huber" {
+				c.LossDelta = 18
+			}
+			mae, err := evalConfig(c, tensor, trainRows, valRows)
+			if err != nil {
+				return nil, fmt.Errorf("core: design loss %s: %w", l, err)
+			}
+			r := StageResult{Option: l, SumValMAE: mae}
+			rep.Loss = append(rep.Loss, r)
+			if mae < best.SumValMAE {
+				best = r
+			}
+		}
+		cfg.Loss = best.Option
+		if cfg.Loss == "pseudohuber" || cfg.Loss == "huber" {
+			cfg.LossDelta = 18
+		}
+	} else {
+		rep.Loss = append(rep.Loss, StageResult{Option: cfg.Loss, SumValMAE: -1})
+	}
+
+	// --- Task 5: hyperparameter budget.
+	if cfg.Family == FamilyXGBoost {
+		best = StageResult{SumValMAE: inf()}
+		bestTrials := 0
+		for _, trials := range opts.TrialGrid {
+			c := cfg
+			c.HPTTrials = trials
+			c.HPTMethod = "tpe"
+			mae, err := evalConfig(c, tensor, trainRows, valRows)
+			if err != nil {
+				return nil, fmt.Errorf("core: design trials %d: %w", trials, err)
+			}
+			r := StageResult{Option: fmt.Sprintf("%d", trials), SumValMAE: mae}
+			rep.HPTTrials = append(rep.HPTTrials, r)
+			if mae < best.SumValMAE {
+				best = r
+				bestTrials = trials
+			}
+		}
+		cfg.HPTTrials = bestTrials
+		cfg.HPTMethod = "tpe"
+	}
+
+	// --- Task 6: fusion.
+	best = StageResult{SumValMAE: inf()}
+	for _, f := range opts.Fusions {
+		c := cfg
+		c.Fusion = f
+		mae, err := evalConfig(c, tensor, trainRows, valRows)
+		if err != nil {
+			return nil, fmt.Errorf("core: design fusion %s: %w", f, err)
+		}
+		r := StageResult{Option: f, SumValMAE: mae}
+		rep.Fusion = append(rep.Fusion, r)
+		if mae < best.SumValMAE {
+			best = r
+		}
+	}
+	cfg.Fusion = best.Option
+
+	rep.Final = cfg
+	return rep, nil
+}
+
+func inf() float64 { return 1e308 }

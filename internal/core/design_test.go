@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"domd/internal/featsel"
+	"domd/internal/ml/gbt"
+)
+
+// tinyDesignOptions shrinks every grid so the full greedy design runs in
+// test time while still exercising all six stages.
+func tinyDesignOptions() DesignOptions {
+	p := gbt.DefaultParams()
+	p.NumRounds = 15
+	p.LearningRate = 0.3
+	return DesignOptions{
+		Selectors: []string{featsel.MethodPearson, featsel.MethodRandom},
+		Ks:        []int{20, 40},
+		Losses:    []string{"l2", "pseudohuber"},
+		TrialGrid: []int{4},
+		DesignGBT: &p,
+		Seed:      1,
+	}
+}
+
+func TestDesignRunsAllStages(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 21)
+	rep, err := Design(tensor, sp.Train, sp.Val, tinyDesignOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FeatureSelection) != 4 { // 2 selectors × 2 ks
+		t.Errorf("feature selection results = %d, want 4", len(rep.FeatureSelection))
+	}
+	if len(rep.BaseModel) != 2 {
+		t.Errorf("base model results = %d, want 2", len(rep.BaseModel))
+	}
+	if len(rep.Stacking) != 2 {
+		t.Errorf("stacking results = %d, want 2", len(rep.Stacking))
+	}
+	if rep.Final.Family == FamilyXGBoost {
+		if len(rep.Loss) != 2 {
+			t.Errorf("loss results = %d, want 2", len(rep.Loss))
+		}
+		if len(rep.HPTTrials) != 1 {
+			t.Errorf("trial results = %d, want 1", len(rep.HPTTrials))
+		}
+	}
+	if len(rep.Fusion) != 3 {
+		t.Errorf("fusion results = %d, want 3", len(rep.Fusion))
+	}
+	if err := rep.Final.Validate(); err != nil {
+		t.Errorf("final config invalid: %v", err)
+	}
+	// The final selector/k must be the argmin of stage 1.
+	best := rep.FeatureSelection[0]
+	for _, r := range rep.FeatureSelection[1:] {
+		if r.SumValMAE < best.SumValMAE {
+			best = r
+		}
+	}
+	if rep.Final.Selector != best.Option || rep.Final.K != best.K {
+		t.Errorf("final selector %s/%d, stage-1 best %s/%d",
+			rep.Final.Selector, rep.Final.K, best.Option, best.K)
+	}
+}
+
+func TestDesignPearsonBeatsRandom(t *testing.T) {
+	tensor, sp := testTensor(t, 80, 22)
+	rep, err := Design(tensor, sp.Train, sp.Val, tinyDesignOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average the stage-1 objective per method: informative selection must
+	// beat the random control on signal-bearing data.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range rep.FeatureSelection {
+		sums[r.Option] += r.SumValMAE
+		counts[r.Option]++
+	}
+	pearson := sums[featsel.MethodPearson] / float64(counts[featsel.MethodPearson])
+	random := sums[featsel.MethodRandom] / float64(counts[featsel.MethodRandom])
+	if pearson >= random {
+		t.Errorf("pearson mean objective %f should beat random %f", pearson, random)
+	}
+}
+
+func TestDesignRequiresValidation(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 23)
+	if _, err := Design(tensor, sp.Train, nil, tinyDesignOptions()); err == nil {
+		t.Error("design without validation rows: want error")
+	}
+}
+
+func TestDesignDefaultsFillGrids(t *testing.T) {
+	var o DesignOptions
+	o.defaults()
+	if len(o.Selectors) != 5 {
+		t.Errorf("default selectors = %d, want 5", len(o.Selectors))
+	}
+	if len(o.Ks) != 9 || o.Ks[0] != 20 || o.Ks[8] != 100 {
+		t.Errorf("default ks = %v", o.Ks)
+	}
+	if len(o.TrialGrid) != 7 {
+		t.Errorf("default trial grid = %v, want the paper's 7 budgets", o.TrialGrid)
+	}
+	if o.DesignGBT == nil || o.Seed == 0 {
+		t.Error("defaults must fill booster and seed")
+	}
+}

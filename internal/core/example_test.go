@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"fmt"
+
+	"domd/internal/core"
+	"domd/internal/features"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+	"domd/internal/split"
+)
+
+// End-to-end: generate a fleet, train the pipeline, answer one DoMD query.
+// (A reduced configuration keeps the example fast; core.DefaultConfig is
+// the paper's selected pipeline.)
+func Example() {
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: 40, NumOngoing: 1, MeanRCCsPerAvail: 40, Seed: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
+	if err != nil {
+		panic(err)
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := core.BaselineConfig()
+	params := gbt.DefaultParams()
+	params.NumRounds = 20
+	params.LearningRate = 0.3
+	cfg.GBTParams = &params
+	cfg.Fusion = "average"
+	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		panic(err)
+	}
+
+	svc := core.NewQueryService(pipe, ext, index.KindAVL)
+	ongoing := &ds.Avails[40] // the one ongoing avail
+	res, err := svc.Query(ongoing, ds.RCCsByAvail()[ongoing.ID], ongoing.PhysicalTime(50))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimates up to t*=%.0f%%: %d points, %d top drivers\n",
+		res.LogicalTime, len(res.Estimates), len(res.TopDrivers))
+	// Output: estimates up to t*=50%: 3 points, 5 top drivers
+}
+
+// Conformal bands: wrap the trained pipeline with split-conformal intervals
+// calibrated on the validation rows.
+func ExampleConformal() {
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: 40, NumOngoing: 0, MeanRCCsPerAvail: 40, Seed: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
+	if err != nil {
+		panic(err)
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.BaselineConfig()
+	params := gbt.DefaultParams()
+	params.NumRounds = 20
+	params.LearningRate = 0.3
+	cfg.GBTParams = &params
+	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		panic(err)
+	}
+	conf, err := core.NewConformal(pipe, tensor, sp.Val)
+	if err != nil {
+		panic(err)
+	}
+	// 80% band at the 50% timestamp for one test avail.
+	row := sp.Test[0]
+	var traj []float64
+	for k := 0; k <= 2; k++ {
+		raw, err := pipe.PredictAt(k, tensor.Slices[k].X[row])
+		if err != nil {
+			panic(err)
+		}
+		traj = append(traj, raw)
+	}
+	lo, mid, hi, err := conf.Interval(traj, 2, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lo < mid && mid < hi)
+	// Output: true
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestParallelTrainingMatchesSerial pins determinism: the same config
+// trained with 1 worker and with 4 workers must yield identical pipelines.
+func TestParallelTrainingMatchesSerial(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 51)
+	serialCfg := fastConfig()
+	serial, err := Train(serialCfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := fastConfig()
+	parCfg.Workers = 4
+	parallel, err := Train(parCfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range tensor.Timestamps {
+		for _, r := range sp.Test {
+			a, err := serial.PredictAt(k, tensor.Slices[k].X[r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := parallel.PredictAt(k, tensor.Slices[k].X[r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("slot %d row %d: serial %f vs parallel %f", k, r, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelTrainingWithTuning exercises the HPT path under concurrency
+// (each slot tunes with its own salted seed).
+func TestParallelTrainingWithTuning(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 52)
+	cfg := fastConfig()
+	cfg.Workers = 3
+	cfg.HPTTrials = 4
+	cfg.HPTMethod = "random"
+	a, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Slices[1].X[sp.Test[0]]
+	pa, _ := a.PredictAt(1, x)
+	pb, _ := b.PredictAt(1, x)
+	if pa != pb {
+		t.Error("tuned parallel training must stay deterministic")
+	}
+}
+
+// TestParallelTrainingPropagatesErrors: a failing slot must surface its
+// error rather than panic or silently produce a broken pipeline.
+func TestParallelTrainingPropagatesErrors(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 53)
+	cfg := fastConfig()
+	cfg.Workers = 4
+	cfg.K = 10_000_000 // forces the selector to return all columns; fine
+	if _, err := Train(cfg, tensor, sp.Train, sp.Val); err != nil {
+		t.Fatalf("huge k should clamp, not fail: %v", err)
+	}
+	bad := fastConfig()
+	bad.Workers = 4
+	bad.HPTTrials = 3
+	// HPT with empty validation rows must error before training starts.
+	if _, err := Train(bad, tensor, sp.Train, nil); err == nil {
+		t.Error("want error for HPT without validation rows")
+	}
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"domd/internal/featsel"
+	"domd/internal/features"
+	"domd/internal/fusion"
+	"domd/internal/index"
+	"domd/internal/metrics"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+	"domd/internal/split"
+)
+
+// testTensor builds a small but realistic tensor with train/val/test splits.
+func testTensor(t *testing.T, nAvails int, seed int64) (*features.Tensor, split.Splits) {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: nAvails, NumOngoing: 0, MeanRCCsPerAvail: 60, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 20, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tensor, sp
+}
+
+// fastConfig keeps tests quick: small booster, no tuning.
+func fastConfig() Config {
+	cfg := BaselineConfig()
+	p := gbt.DefaultParams()
+	p.NumRounds = 25
+	p.LearningRate = 0.2
+	cfg.GBTParams = &p
+	return cfg
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	tensor, sp := testTensor(t, 100, 1)
+	cfg := fastConfig()
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Timestamps()) != 6 { // 0,20,40,60,80,100
+		t.Fatalf("timestamps = %v", p.Timestamps())
+	}
+	reports, err := p.EvaluateRows(tensor, sp.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 6 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	// Sanity: by mid-timeline the model beats the train-mean baseline on
+	// the trimmed MAE (R2 on a 18-row test set is dominated by whether a
+	// disaster avail landed there, so it is too noisy to assert on).
+	meanY := 0.0
+	for _, r := range sp.Train {
+		meanY += tensor.Slices[0].Y[r]
+	}
+	meanY /= float64(len(sp.Train))
+	baseErrs := make([]float64, len(sp.Test))
+	yTest := make([]float64, len(sp.Test))
+	for i, r := range sp.Test {
+		yTest[i] = tensor.Slices[0].Y[r]
+		baseErrs[i] = meanY
+	}
+	baseline, err := metrics.MAEPercentile(yTest, baseErrs, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[3].MAE80 >= baseline {
+		t.Errorf("MAE80 @60%% = %f, want better than mean baseline %f", reports[3].MAE80, baseline)
+	}
+	// Training rows should fit much better than chance.
+	trainReports, err := p.EvaluateRows(tensor, sp.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainReports[5].R2 < 0.5 {
+		t.Errorf("train R2 @100%% = %f, want > 0.5", trainReports[5].R2)
+	}
+}
+
+func TestDynamicFeaturesImproveOverTimeline(t *testing.T) {
+	tensor, sp := testTensor(t, 80, 2)
+	cfg := fastConfig()
+	cfg.Fusion = fusion.MethodAverage
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := p.EvaluateRows(tensor, sp.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's "effective temporal estimation": error at later logical
+	// times should not blow up versus the static-only start; expect the
+	// best mid/late-timeline MAE to beat the 0% MAE.
+	bestLater := math.Inf(1)
+	for _, r := range reports[1:] {
+		if r.MAE < bestLater {
+			bestLater = r.MAE
+		}
+	}
+	if bestLater >= reports[0].MAE*1.25 {
+		t.Errorf("later timeline MAE %f much worse than static-only %f", bestLater, reports[0].MAE)
+	}
+}
+
+func TestStackedArchitecture(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 3)
+	cfg := fastConfig()
+	cfg.Stacked = true
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.staticModel == nil {
+		t.Fatal("stacked pipeline must have a static base model")
+	}
+	if _, err := p.EvaluateRows(tensor, sp.Test); err != nil {
+		t.Fatal(err)
+	}
+	// Slots must not include raw static columns (they flow in via the
+	// static prediction instead).
+	for k, s := range p.slots {
+		for _, c := range s.cols {
+			if c < features.NumStatic {
+				t.Errorf("slot %d includes raw static column %d", k, c)
+			}
+		}
+	}
+}
+
+func TestNonStackedIncludesStatics(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 4)
+	p, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range p.slots {
+		statics := 0
+		for _, c := range s.cols {
+			if c < features.NumStatic {
+				statics++
+			}
+		}
+		if statics != features.NumStatic {
+			t.Errorf("slot %d has %d static columns, want %d", k, statics, features.NumStatic)
+		}
+		if len(s.cols) != features.NumStatic+fastConfig().K {
+			t.Errorf("slot %d has %d columns, want %d", k, len(s.cols), features.NumStatic+fastConfig().K)
+		}
+	}
+}
+
+func TestElasticNetFamily(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 5)
+	cfg := fastConfig()
+	cfg.Family = FamilyElasticNet
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EvaluateRows(tensor, sp.Test); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPTTrainsTunedModels(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 6)
+	cfg := fastConfig()
+	cfg.HPTTrials = 5
+	cfg.HPTMethod = "random"
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range p.slots {
+		if s.params == nil {
+			t.Errorf("slot %d untuned despite HPTTrials > 0", k)
+		}
+	}
+	if _, err := Train(Config{
+		Selector: featsel.MethodPearson, K: 10, Family: FamilyXGBoost,
+		Loss: "l2", Fusion: fusion.MethodNone, HPTTrials: 5,
+	}, tensor, sp.Train, nil); err == nil {
+		t.Error("HPT without validation rows: want error")
+	}
+}
+
+func TestTrajectoryAndFusion(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 7)
+	cfg := fastConfig()
+	cfg.Fusion = fusion.MethodAverage
+	p, err := Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sp.Test[0]
+	fulls := make([][]float64, len(tensor.Timestamps))
+	for k := range fulls {
+		fulls[k] = tensor.Slices[k].X[row]
+	}
+	raw, fused, err := p.Trajectory(fulls, len(fulls)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(fulls) || len(fused) != len(fulls) {
+		t.Fatalf("trajectory lengths %d/%d", len(raw), len(fused))
+	}
+	// Average fusion at step k equals the running mean of raw[0..k].
+	sum := 0.0
+	for k := range raw {
+		sum += raw[k]
+		want := sum / float64(k+1)
+		if math.Abs(fused[k]-want) > 1e-9 {
+			t.Errorf("fused[%d] = %f, want running mean %f", k, fused[k], want)
+		}
+	}
+	// Errors.
+	if _, _, err := p.Trajectory(fulls, len(fulls)); err == nil {
+		t.Error("upto out of range: want error")
+	}
+	if _, _, err := p.Trajectory(fulls[:2], 3); err == nil {
+		t.Error("missing vectors: want error")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 8)
+	p, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts, err := p.TopFeatures(3, tensor.Slices[3].X[sp.Test[0]], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atts) != 5 {
+		t.Fatalf("%d attributions, want 5", len(atts))
+	}
+	for i := 1; i < len(atts); i++ {
+		if atts[i].Score > atts[i-1].Score {
+			t.Error("attributions must be sorted descending")
+		}
+	}
+	for _, a := range atts {
+		if a.Name == "" {
+			t.Error("attribution with empty name")
+		}
+	}
+	if _, err := p.TopFeatures(99, tensor.Slices[0].X[0], 5); err == nil {
+		t.Error("slot out of range: want error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, Family: FamilyXGBoost, Loss: "l2", Fusion: "none"},
+		{K: 10, Family: "svm", Loss: "l2", Fusion: "none"},
+		{K: 10, Family: FamilyXGBoost, Loss: "hinge", Fusion: "none"},
+		{K: 10, Family: FamilyXGBoost, Loss: "l2", Fusion: "mode"},
+		{K: 10, Family: FamilyXGBoost, Loss: "l2", Fusion: "none", HPTTrials: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if err := BaselineConfig().Validate(); err != nil {
+		t.Errorf("BaselineConfig invalid: %v", err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 9)
+	if _, err := Train(fastConfig(), tensor, nil, sp.Val); err == nil {
+		t.Error("no training rows: want error")
+	}
+	bad := fastConfig()
+	bad.K = 0
+	if _, err := Train(bad, tensor, sp.Train, sp.Val); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestEvaluateRowsErrors(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 10)
+	p, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EvaluateRows(tensor, nil); err == nil {
+		t.Error("no rows: want error")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	tensor, sp := testTensor(t, 40, 11)
+	p1, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Slices[2].X[sp.Test[0]]
+	a, _ := p1.PredictAt(2, x)
+	b, _ := p2.PredictAt(2, x)
+	if a != b {
+		t.Error("same config and data must reproduce identical pipelines")
+	}
+}
+
+func TestGlobalImportances(t *testing.T) {
+	tensor, sp := testTensor(t, 50, 61)
+	p, err := Train(fastConfig(), tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := p.GlobalImportances()
+	if len(imp) == 0 {
+		t.Fatal("no importances")
+	}
+	sum := 0.0
+	for name, v := range imp {
+		if v < 0 {
+			t.Errorf("negative importance for %q", name)
+		}
+		if name == "" {
+			t.Error("empty feature name")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %f, want 1", sum)
+	}
+	// Static features should appear (they're in every non-stacked model).
+	foundStatic := false
+	for _, name := range features.StaticNames {
+		if imp[name] > 0 {
+			foundStatic = true
+		}
+	}
+	if !foundStatic {
+		t.Error("no static feature carries importance")
+	}
+}

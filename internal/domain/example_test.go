@@ -1,0 +1,55 @@
+package domain_test
+
+import (
+	"fmt"
+
+	"domd/internal/domain"
+)
+
+// The avail of the paper's Table 1 row 2: planned 2019-05-07 → 2020-04-11,
+// actually finished 2021-05-21 — a 405-day delay.
+func ExampleAvail_Delay() {
+	mustDay := func(s string) domain.Day {
+		d, err := domain.ParseDay(s)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	a := domain.Avail{
+		ID: 2, Status: domain.StatusClosed,
+		PlanStart: mustDay("2019-05-07"),
+		PlanEnd:   mustDay("2020-04-11"),
+		ActStart:  mustDay("2019-05-07"),
+		ActEnd:    mustDay("2021-05-21"),
+	}
+	delay, err := a.Delay()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(delay)
+	// Output: 405
+}
+
+func ExampleAvail_LogicalTime() {
+	mustDay := func(s string) domain.Day {
+		d, err := domain.ParseDay(s)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	a := domain.Avail{
+		ID: 2, Status: domain.StatusOngoing,
+		PlanStart: mustDay("2019-05-07"),
+		PlanEnd:   mustDay("2020-04-11"),
+		ActStart:  mustDay("2019-05-07"),
+	}
+	// Paper §2: 2019-07-06 is ≈18% of the planned duration.
+	ts, err := a.LogicalTime(mustDay("2019-07-06"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f%%\n", ts)
+	// Output: 18%
+}

@@ -1,0 +1,202 @@
+// Package drift monitors feature distributions between training time and
+// serving time. The deployed DoMD pipeline retrains on raw data "without
+// human intervention" (paper §1), which is only safe if someone notices when
+// the live RCC stream stops resembling the data the model bank was fitted
+// on. The detector computes the Population Stability Index (PSI) per feature
+// between a reference batch (the training slice) and a live batch, and flags
+// features whose PSI crosses the conventional alert thresholds.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Severity buckets follow the conventional PSI rules of thumb.
+type Severity int
+
+// PSI severity levels.
+const (
+	// Stable: PSI < 0.1 — no meaningful shift.
+	Stable Severity = iota
+	// Moderate: 0.1 <= PSI < 0.25 — investigate.
+	Moderate
+	// Severe: PSI >= 0.25 — the feature's distribution has shifted enough
+	// to distrust the model until retrained.
+	Severe
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Stable:
+		return "stable"
+	case Moderate:
+		return "moderate"
+	case Severe:
+		return "severe"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// severityOf buckets an excess-PSI value.
+func severityOf(psi float64) Severity {
+	switch {
+	case psi >= 0.25:
+		return Severe
+	case psi >= 0.1:
+		return Moderate
+	default:
+		return Stable
+	}
+}
+
+// Detector holds per-feature reference histograms.
+type Detector struct {
+	names []string
+	// edges[f] are the reference quantile bin edges; ref[f] the reference
+	// proportions per bin (len(edges)+1 bins).
+	edges [][]float64
+	ref   [][]float64
+	// refN is the reference sample size, needed to correct PSI for
+	// finite-sample noise.
+	refN int
+}
+
+// Config controls binning.
+type Config struct {
+	// Bins is the histogram resolution (default 10, the PSI convention).
+	Bins int
+}
+
+// NewDetector fits reference histograms on the training design matrix.
+// names may be nil; rows must be non-empty and rectangular.
+func NewDetector(cfg Config, X [][]float64, names []string) (*Detector, error) {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil, fmt.Errorf("drift: empty reference batch")
+	}
+	bins := cfg.Bins
+	if bins == 0 {
+		bins = 10
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("drift: bins %d < 2", bins)
+	}
+	p := len(X[0])
+	if names != nil && len(names) != p {
+		return nil, fmt.Errorf("drift: %d names for %d features", len(names), p)
+	}
+	d := &Detector{names: names, edges: make([][]float64, p), ref: make([][]float64, p), refN: len(X)}
+	vals := make([]float64, len(X))
+	for f := 0; f < p; f++ {
+		for i := range X {
+			if len(X[i]) != p {
+				return nil, fmt.Errorf("drift: ragged row %d", i)
+			}
+			vals[i] = X[i][f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for k := 1; k < bins; k++ {
+			q := vals[k*(len(vals)-1)/bins]
+			if len(edges) == 0 || q > edges[len(edges)-1] {
+				edges = append(edges, q)
+			}
+		}
+		d.edges[f] = edges
+		d.ref[f] = proportions(edges, vals)
+	}
+	return d, nil
+}
+
+// proportions buckets sorted-or-not values into edge-defined bins.
+func proportions(edges []float64, vals []float64) []float64 {
+	counts := make([]float64, len(edges)+1)
+	for _, v := range vals {
+		counts[binOf(edges, v)]++
+	}
+	inv := 1.0 / float64(len(vals))
+	for i := range counts {
+		counts[i] *= inv
+	}
+	return counts
+}
+
+func binOf(edges []float64, v float64) int {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Report is one feature's drift measurement. Severity is judged on the
+// PSI in excess of its no-drift expectation E[PSI] ≈ (B−1)(1/n_ref +
+// 1/n_live): with small batches the raw PSI is biased upward by sampling
+// noise alone, and the conventional 0.1/0.25 thresholds assume that bias is
+// negligible.
+type Report struct {
+	Feature int
+	Name    string
+	PSI     float64
+	// Excess is max(0, PSI − E[PSI under no drift]).
+	Excess   float64
+	Severity Severity
+}
+
+// Check computes per-feature PSI of the live batch against the reference,
+// returning reports sorted by descending PSI.
+func (d *Detector) Check(live [][]float64) ([]Report, error) {
+	if len(live) == 0 {
+		return nil, fmt.Errorf("drift: empty live batch")
+	}
+	p := len(d.edges)
+	vals := make([]float64, len(live))
+	out := make([]Report, 0, p)
+	for f := 0; f < p; f++ {
+		for i := range live {
+			if len(live[i]) != p {
+				return nil, fmt.Errorf("drift: live row %d has %d features, want %d", i, len(live[i]), p)
+			}
+			vals[i] = live[i][f]
+		}
+		cur := proportions(d.edges[f], vals)
+		psi := 0.0
+		const eps = 1e-4 // smooth empty bins, the standard PSI fix
+		for b := range cur {
+			r := math.Max(d.ref[f][b], eps)
+			c := math.Max(cur[b], eps)
+			psi += (c - r) * math.Log(c/r)
+		}
+		// No-drift expectation of PSI from sampling noise alone.
+		bins := float64(len(d.ref[f]))
+		expected := (bins - 1) * (1/float64(d.refN) + 1/float64(len(live)))
+		excess := psi - expected
+		if excess < 0 {
+			excess = 0
+		}
+		rep := Report{Feature: f, PSI: psi, Excess: excess, Severity: severityOf(excess)}
+		if d.names != nil {
+			rep.Name = d.names[f]
+		}
+		out = append(out, rep)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Excess > out[b].Excess })
+	return out, nil
+}
+
+// Worst returns the highest-severity report (Check result must be
+// non-empty).
+func Worst(reports []Report) Report {
+	if len(reports) == 0 {
+		return Report{}
+	}
+	return reports[0]
+}

@@ -1,0 +1,144 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func batch(rng *rand.Rand, n int, shift, scale float64) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{
+			rng.NormFloat64()*scale + shift, // drifting feature
+			rng.NormFloat64(),               // stable feature
+		}
+	}
+	return X
+}
+
+func TestNoDriftOnSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := batch(rng, 2000, 0, 1)
+	live := batch(rng, 2000, 0, 1)
+	d, err := NewDetector(Config{}, ref, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := d.Check(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Severity != Stable {
+			t.Errorf("feature %s: PSI %f flagged %v on identical distribution", r.Name, r.PSI, r.Severity)
+		}
+	}
+}
+
+func TestDetectsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := batch(rng, 2000, 0, 1)
+	live := batch(rng, 2000, 2, 1) // feature 0 shifted by 2σ
+	d, err := NewDetector(Config{}, ref, []string{"shifted", "stable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := d.Check(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := Worst(reports)
+	if worst.Name != "shifted" {
+		t.Fatalf("worst = %q, want shifted (reports %+v)", worst.Name, reports)
+	}
+	if worst.Excess <= 0 || worst.Excess > worst.PSI {
+		t.Errorf("excess %f inconsistent with PSI %f", worst.Excess, worst.PSI)
+	}
+	if worst.Severity != Severe {
+		t.Errorf("2σ mean shift should be severe, got %v (PSI %f)", worst.Severity, worst.PSI)
+	}
+	// The untouched feature stays quiet.
+	for _, r := range reports {
+		if r.Name == "stable" && r.Severity == Severe {
+			t.Errorf("stable feature flagged severe (PSI %f)", r.PSI)
+		}
+	}
+}
+
+func TestDetectsVarianceShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := batch(rng, 2000, 0, 1)
+	live := batch(rng, 2000, 0, 3) // feature 0 variance tripled
+	d, err := NewDetector(Config{}, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := d.Check(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Worst(reports).Feature != 0 || Worst(reports).Severity == Stable {
+		t.Errorf("variance shift missed: %+v", reports)
+	}
+}
+
+func TestSeverityBuckets(t *testing.T) {
+	cases := []struct {
+		psi  float64
+		want Severity
+	}{{0, Stable}, {0.05, Stable}, {0.1, Moderate}, {0.2, Moderate}, {0.25, Severe}, {2, Severe}}
+	for _, c := range cases {
+		if got := severityOf(c.psi); got != c.want {
+			t.Errorf("severityOf(%f) = %v, want %v", c.psi, got, c.want)
+		}
+	}
+	if Stable.String() != "stable" || Severe.String() != "severe" {
+		t.Error("severity strings wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewDetector(Config{}, nil, nil); err == nil {
+		t.Error("empty reference: want error")
+	}
+	if _, err := NewDetector(Config{Bins: 1}, [][]float64{{1}}, nil); err == nil {
+		t.Error("bins=1: want error")
+	}
+	if _, err := NewDetector(Config{}, [][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("name mismatch: want error")
+	}
+	if _, err := NewDetector(Config{}, [][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Error("ragged reference: want error")
+	}
+	d, err := NewDetector(Config{}, [][]float64{{1, 2}, {3, 4}, {5, 6}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Check(nil); err == nil {
+		t.Error("empty live: want error")
+	}
+	if _, err := d.Check([][]float64{{1}}); err == nil {
+		t.Error("ragged live: want error")
+	}
+	if w := Worst(nil); w.PSI != 0 {
+		t.Error("Worst(nil) should be zero value")
+	}
+}
+
+func TestConstantFeatureDoesNotExplode(t *testing.T) {
+	ref := [][]float64{{7, 1}, {7, 2}, {7, 3}, {7, 4}}
+	live := [][]float64{{7, 1}, {7, 2}, {7, 100}}
+	d, err := NewDetector(Config{Bins: 4}, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := d.Check(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.PSI != r.PSI || r.PSI < 0 { // NaN or negative
+			t.Errorf("feature %d: bad PSI %f", r.Feature, r.PSI)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"domd/internal/core"
+	"domd/internal/fusion"
+)
+
+// Fig6fExt is the future-work ablation the paper defers ("there are many
+// other possible ensembling methods"): the three paper fusers plus median,
+// recency-weighted and trimmed-mean fusion, compared on validation MAE over
+// the timeline (shared untuned model bank — the ranking, not the level, is
+// the point).
+func Fig6fExt(w *Workload) (*Table, error) {
+	return w.fusionTable("fig6f-ext", "Validation MAE: paper + future-work fusion techniques", fusion.AllMethods(), 0)
+}
+
+// AblationStacking compares the paper's two architectures with the loss
+// dimension crossed in (2×3 grid), isolating whether the stacking result of
+// Fig. 6c depends on the loss choice.
+func AblationStacking(w *Workload) (*Table, error) {
+	var names []string
+	var cfgs []core.Config
+	for _, stacked := range []bool{false, true} {
+		arch := "flat"
+		if stacked {
+			arch = "stacked"
+		}
+		for _, l := range []string{"l2", "pseudohuber"} {
+			cfg := w.baseline()
+			cfg.Stacked = stacked
+			cfg.Loss = l
+			if l == "pseudohuber" {
+				cfg.LossDelta = 18
+			}
+			names = append(names, arch+"/"+l)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return w.curveTable("ablation-stacking", "Validation MAE: architecture × loss ablation", names, cfgs)
+}

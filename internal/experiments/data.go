@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"domd/internal/domain"
+	"domd/internal/navsim"
+	"domd/internal/stats"
+)
+
+// Fig2 reproduces the delay-distribution histogram of Fig. 2.
+func Fig2(ds *navsim.Dataset, bins int) (*Table, error) {
+	delays := ds.Delays()
+	counts, edges, err := stats.Histogram(delays, bins)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2: %w", err)
+	}
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Delay distribution for all availabilities (days)",
+		Header: []string{"bin_lo", "bin_hi", "count", "histogram"},
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		bar := ""
+		if maxCount > 0 {
+			n := c * 50 / maxCount
+			for j := 0; j < n; j++ {
+				bar += "#"
+			}
+		}
+		t.Rows = append(t.Rows, []string{f1(edges[i]), f1(edges[i+1]), fmt.Sprintf("%d", c), bar})
+	}
+	return t, nil
+}
+
+// Table5 reproduces the dataset statistics table.
+func Table5(ds *navsim.Dataset) *Table {
+	closed, ongoing := 0, 0
+	ships := map[int]bool{}
+	var minDay, maxDay domain.Day
+	first := true
+	for i := range ds.Avails {
+		a := &ds.Avails[i]
+		ships[a.ShipID] = true
+		if a.Status == domain.StatusClosed {
+			closed++
+		} else {
+			ongoing++
+		}
+		if first || a.PlanStart < minDay {
+			minDay = a.PlanStart
+		}
+		if first || a.PlanEnd > maxDay {
+			maxDay = a.PlanEnd
+		}
+		first = false
+	}
+	return &Table{
+		ID:     "table5",
+		Title:  "Statistics of the (synthetic) dataset",
+		Header: []string{"statistic", "value"},
+		Rows: [][]string{
+			{"# closed avails", fmt.Sprintf("%d", closed)},
+			{"# ongoing avails", fmt.Sprintf("%d", ongoing)},
+			{"# distinct ships", fmt.Sprintf("%d", len(ships))},
+			{"# RCCs", fmt.Sprintf("%d", len(ds.RCCs))},
+			{"earliest plan start", minDay.String()},
+			{"latest plan end", maxDay.String()},
+		},
+	}
+}

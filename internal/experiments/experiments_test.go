@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"domd/internal/core"
+	"domd/internal/featsel"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+)
+
+func smallDataset(t *testing.T) *navsim.Dataset {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{
+		NumClosed: 40, NumOngoing: 2, MeanRCCsPerAvail: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload(navsim.Config{
+		NumClosed: 40, NumOngoing: 0, MeanRCCsPerAvail: 40, Seed: 3,
+	}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.DesignGBT = gbt.DefaultParams()
+	w.DesignGBT.NumRounds = 15
+	w.DesignGBT.LearningRate = 0.3
+	w.Runs = 1 // keep tests fast; the full harness averages 3 runs
+	return w
+}
+
+func TestFig2AndTable5(t *testing.T) {
+	ds := smallDataset(t)
+	fig2, err := Fig2(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2.Rows) != 10 {
+		t.Errorf("fig2 rows = %d, want 10 bins", len(fig2.Rows))
+	}
+	if !strings.Contains(fig2.String(), "fig2") {
+		t.Error("rendering missing id")
+	}
+	t5 := Table5(ds)
+	if len(t5.Rows) != 6 {
+		t.Errorf("table5 rows = %d", len(t5.Rows))
+	}
+	if t5.Rows[0][1] != "40" {
+		t.Errorf("closed avails cell = %q, want 40", t5.Rows[0][1])
+	}
+	if _, err := Fig2(&navsim.Dataset{}, 10); err == nil {
+		t.Error("fig2 on empty dataset: want error")
+	}
+}
+
+func TestProjectLogical(t *testing.T) {
+	ds := smallDataset(t)
+	ivs := ProjectLogical(ds)
+	if len(ivs) == 0 || len(ivs) > len(ds.RCCs) {
+		t.Fatalf("projected %d of %d", len(ivs), len(ds.RCCs))
+	}
+	for _, iv := range ivs {
+		if iv.End < iv.Start {
+			t.Fatalf("inverted logical interval %+v", iv)
+		}
+		if iv.Subsystem < 0 || iv.Subsystem > 9 {
+			t.Fatalf("bad subsystem %d", iv.Subsystem)
+		}
+	}
+}
+
+func TestScalabilitySweepEquivalence(t *testing.T) {
+	// The incremental sweep must produce exactly the same group aggregates
+	// as the from-scratch sweep at every grid point.
+	ds := smallDataset(t)
+	ivs := ProjectLogical(ds)
+	raw := make([]index.Interval, len(ivs))
+	for i := range ivs {
+		raw[i] = ivs[i].Interval
+	}
+	avl, err := index.Build(index.KindAVL, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := index.Build(index.KindNaive, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := SweepIncremental(avl, ivs, 10)
+	scr := SweepScratch(naive, ivs, 10)
+	if len(inc) != len(scr) {
+		t.Fatalf("step counts differ: %d vs %d", len(inc), len(scr))
+	}
+	for step := range inc {
+		for g := range inc[step] {
+			a, b := inc[step][g], scr[step][g]
+			if a.Count != b.Count || !almostEq(a.SumAmount, b.SumAmount) || !almostEq(a.SumDuration, b.SumDuration) {
+				t.Fatalf("step %d group %d: incremental %+v vs scratch %+v", step, g, a, b)
+			}
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+abs(a))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRunScalabilityShapes(t *testing.T) {
+	ds := smallDataset(t)
+	ms, err := RunScalability(ds, []int{1, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 { // 2 factors × 3 kinds
+		t.Fatalf("%d measurements, want 6", len(ms))
+	}
+	byKey := map[string]ScaleMeasurement{}
+	for _, m := range ms {
+		byKey[string(m.Kind)+"-"+string(rune('0'+m.Factor))] = m
+		if m.Creation <= 0 || m.Query <= 0 || m.MemoryMB <= 0 {
+			t.Errorf("non-positive measurement: %+v", m)
+		}
+	}
+	// Scaling must increase RCC count 3x.
+	if byKey["avl-3"].NumRCCs != 3*byKey["avl-1"].NumRCCs {
+		t.Errorf("3x scale rccs = %d, want 3 × %d", byKey["avl-3"].NumRCCs, byKey["avl-1"].NumRCCs)
+	}
+	// Table 6 shape: naive memory roughly double the trees.
+	if byKey["naive-3"].MemoryMB < byKey["avl-3"].MemoryMB {
+		t.Errorf("naive memory %f should exceed AVL %f", byKey["naive-3"].MemoryMB, byKey["avl-3"].MemoryMB)
+	}
+	for _, render := range []*Table{Fig5a(ms), Fig5b(ms), Fig5c(ms), Table6(ms)} {
+		if len(render.Rows) != 2 {
+			t.Errorf("%s rows = %d, want 2", render.ID, len(render.Rows))
+		}
+		if len(render.Rows[0]) != 5 {
+			t.Errorf("%s cols = %d, want 5", render.ID, len(render.Rows[0]))
+		}
+	}
+	if _, err := RunScalability(ds, []int{1}, 0); err == nil {
+		t.Error("bad grid step: want error")
+	}
+}
+
+func TestFig6aSmall(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := Fig6a(w, []string{featsel.MethodPearson, featsel.MethodRandom}, []int{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Header) != 3 {
+		t.Fatalf("fig6a shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+}
+
+func TestFig6bcdfSmall(t *testing.T) {
+	w := smallWorkload(t)
+	for _, fn := range []func(*Workload) (*Table, error){Fig6b, Fig6c, Fig6d, Fig6f} {
+		tab, err := fn(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != len(w.Tensor.Timestamps) {
+			t.Errorf("%s rows = %d, want %d", tab.ID, len(tab.Rows), len(w.Tensor.Timestamps))
+		}
+	}
+}
+
+func TestFig6eSmall(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := Fig6e(w, []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig6e rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable7Small(t *testing.T) {
+	w := smallWorkload(t)
+	cfg := core.DefaultConfig()
+	cfg.HPTTrials = 0 // keep the test fast
+	cfg.GBTParams = &w.DesignGBT
+	tab, reports, err := Table7(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(w.Tensor.Timestamps) + 1 // + average
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("table7 rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	if tab.Rows[wantRows-1][0] != "Average" {
+		t.Error("last row must be the average")
+	}
+	if len(reports) != wantRows {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// Percentile monotonicity in each report.
+	for i, r := range reports {
+		if !(r.MAE80 <= r.MAE90 && r.MAE90 <= r.MAE) {
+			t.Errorf("report %d: MAE percentiles not monotone: %+v", i, r)
+		}
+	}
+}
+
+func TestWorkloadMidIndex(t *testing.T) {
+	w := smallWorkload(t)
+	mid := w.midIndex()
+	ts := w.Tensor.Timestamps[mid]
+	if ts != 50 {
+		t.Errorf("mid timestamp = %g, want 50 on a 25%% grid", ts)
+	}
+}
+
+func TestFig6fExtAndAblation(t *testing.T) {
+	w := smallWorkload(t)
+	ext, err := Fig6fExt(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Header) != 7 { // t* + 6 fusers
+		t.Errorf("fig6f-ext header = %v", ext.Header)
+	}
+	ab, err := AblationStacking(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Header) != 5 { // t* + 2×2 grid
+		t.Errorf("ablation header = %v", ab.Header)
+	}
+}

@@ -1,0 +1,260 @@
+// Package featsel implements Task 2 of the paper: scoring the generated
+// feature set and keeping the top k. It provides the five methods evaluated
+// in §5.2.2 — Pearson Correlation (the paper's winner), Spearman Rank,
+// Mutual Information, Recursive Feature Elimination (model-dependent), and
+// Random Selection (control) — behind a single Selector interface.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"domd/internal/ml"
+	"domd/internal/stats"
+)
+
+// Selector ranks the feature columns of a dataset and returns the indices of
+// the k most relevant ones, most relevant first.
+type Selector interface {
+	// Name identifies the method.
+	Name() string
+	// Select returns up to k column indices of d (d.Y must be set).
+	Select(d *ml.Dataset, k int) ([]int, error)
+}
+
+// Method names accepted by New, matching the paper's §5.2.1 list.
+const (
+	MethodPearson  = "pearson"
+	MethodSpearman = "spearman"
+	MethodMutual   = "mutualinfo"
+	MethodRFE      = "rfe"
+	MethodRandom   = "random"
+)
+
+// Methods lists every selector name in the order the paper reports them.
+func Methods() []string {
+	return []string{MethodRFE, MethodPearson, MethodSpearman, MethodMutual, MethodRandom}
+}
+
+// New constructs a Selector by name. RFE needs a Trainer to refit; Random
+// needs a seed; both are taken from opts.
+func New(name string, opts Options) (Selector, error) {
+	switch name {
+	case MethodPearson:
+		return Pearson{}, nil
+	case MethodSpearman:
+		return Spearman{}, nil
+	case MethodMutual:
+		bins := opts.MIBins
+		if bins == 0 {
+			bins = 8
+		}
+		return MutualInfo{Bins: bins}, nil
+	case MethodRFE:
+		if opts.Trainer == nil {
+			return nil, fmt.Errorf("featsel: rfe requires a trainer")
+		}
+		step := opts.RFEStep
+		if step <= 0 {
+			step = 0.25
+		}
+		return &RFE{Trainer: opts.Trainer, Step: step}, nil
+	case MethodRandom:
+		return &Random{Seed: opts.Seed}, nil
+	default:
+		return nil, fmt.Errorf("featsel: unknown method %q", name)
+	}
+}
+
+// Options carries method-specific knobs for New.
+type Options struct {
+	// Trainer is the base model RFE refits on shrinking feature sets.
+	Trainer ml.Trainer
+	// Seed drives Random selection.
+	Seed int64
+	// MIBins is the histogram resolution for MutualInfo (default 8).
+	MIBins int
+	// RFEStep is the fraction of remaining features RFE drops per
+	// iteration (default 0.25).
+	RFEStep float64
+}
+
+func checkArgs(d *ml.Dataset, k int) error {
+	if d.Y == nil {
+		return fmt.Errorf("featsel: dataset has no targets")
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.NumRows() == 0 || d.NumCols() == 0 {
+		return fmt.Errorf("featsel: empty dataset")
+	}
+	if k < 1 {
+		return fmt.Errorf("featsel: k = %d < 1", k)
+	}
+	return nil
+}
+
+// topK returns indices of the k largest scores, descending, with index order
+// breaking ties for determinism.
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Pearson scores each feature by |Pearson correlation| with the target —
+// the paper's winning model-agnostic method.
+type Pearson struct{}
+
+// Name implements Selector.
+func (Pearson) Name() string { return MethodPearson }
+
+// Select implements Selector.
+func (Pearson) Select(d *ml.Dataset, k int) ([]int, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	scores := make([]float64, d.NumCols())
+	for j := range scores {
+		r, err := stats.Pearson(d.Column(j), d.Y)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: pearson col %d: %w", j, err)
+		}
+		scores[j] = math.Abs(r)
+	}
+	return topK(scores, k), nil
+}
+
+// Spearman scores by |rank correlation| with the target.
+type Spearman struct{}
+
+// Name implements Selector.
+func (Spearman) Name() string { return MethodSpearman }
+
+// Select implements Selector.
+func (Spearman) Select(d *ml.Dataset, k int) ([]int, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	yRanks := stats.Ranks(d.Y)
+	scores := make([]float64, d.NumCols())
+	for j := range scores {
+		r, err := stats.Pearson(stats.Ranks(d.Column(j)), yRanks)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: spearman col %d: %w", j, err)
+		}
+		scores[j] = math.Abs(r)
+	}
+	return topK(scores, k), nil
+}
+
+// MutualInfo scores by histogram mutual information with the target.
+type MutualInfo struct{ Bins int }
+
+// Name implements Selector.
+func (MutualInfo) Name() string { return MethodMutual }
+
+// Select implements Selector.
+func (m MutualInfo) Select(d *ml.Dataset, k int) ([]int, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	scores := make([]float64, d.NumCols())
+	for j := range scores {
+		mi, err := stats.MutualInformation(d.Column(j), d.Y, m.Bins)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: mi col %d: %w", j, err)
+		}
+		scores[j] = mi
+	}
+	return topK(scores, k), nil
+}
+
+// RFE is Recursive Feature Elimination: repeatedly fit the base model on the
+// surviving features and drop the least important Step-fraction until k
+// remain (model-dependent selection, paper §3.2.1).
+type RFE struct {
+	Trainer ml.Trainer
+	// Step is the fraction of remaining features dropped per iteration.
+	Step float64
+}
+
+// Name implements Selector.
+func (*RFE) Name() string { return MethodRFE }
+
+// Select implements Selector.
+func (r *RFE) Select(d *ml.Dataset, k int) ([]int, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	surviving := make([]int, d.NumCols())
+	for i := range surviving {
+		surviving[i] = i
+	}
+	for len(surviving) > k {
+		sub := d.Select(surviving)
+		model, err := r.Trainer.Fit(sub)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: rfe refit with %d features: %w", len(surviving), err)
+		}
+		imp := model.Importances()
+		if len(imp) != len(surviving) {
+			return nil, fmt.Errorf("featsel: model returned %d importances for %d features", len(imp), len(surviving))
+		}
+		drop := int(r.Step * float64(len(surviving)))
+		if drop < 1 {
+			drop = 1
+		}
+		if len(surviving)-drop < k {
+			drop = len(surviving) - k
+		}
+		// Order surviving by importance descending and cut the tail.
+		order := topK(imp, len(imp))
+		kept := make([]int, 0, len(surviving)-drop)
+		for _, pos := range order[:len(order)-drop] {
+			kept = append(kept, surviving[pos])
+		}
+		sort.Ints(kept)
+		surviving = kept
+	}
+	// Final ranking of the survivors by a last fit.
+	sub := d.Select(surviving)
+	model, err := r.Trainer.Fit(sub)
+	if err != nil {
+		return nil, err
+	}
+	order := topK(model.Importances(), len(surviving))
+	out := make([]int, len(order))
+	for i, pos := range order {
+		out[i] = surviving[pos]
+	}
+	return out, nil
+}
+
+// Random selects k features uniformly at random (the paper's control).
+type Random struct{ Seed int64 }
+
+// Name implements Selector.
+func (*Random) Name() string { return MethodRandom }
+
+// Select implements Selector.
+func (r *Random) Select(d *ml.Dataset, k int) ([]int, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(d.NumCols())
+	if k > len(perm) {
+		k = len(perm)
+	}
+	return perm[:k], nil
+}

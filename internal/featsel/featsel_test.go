@@ -1,0 +1,219 @@
+package featsel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"domd/internal/ml"
+	"domd/internal/ml/gbt"
+	"domd/internal/ml/linear"
+)
+
+// synth builds a dataset with 10 features where only columns 2 and 7 carry
+// signal: y = 10*x2 - 8*x7 + small noise.
+func synth(seed int64, n int) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		d.X[i] = row
+		d.Y[i] = 10*row[2] - 8*row[7] + 0.1*rng.NormFloat64()
+	}
+	return d
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestModelAgnosticSelectorsFindSignal(t *testing.T) {
+	d := synth(1, 300)
+	selectors := []Selector{Pearson{}, Spearman{}, MutualInfo{Bins: 8}}
+	for _, s := range selectors {
+		got, err := s.Select(d, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(got) != 2 || !contains(got, 2) || !contains(got, 7) {
+			t.Errorf("%s: Select = %v, want {2,7}", s.Name(), got)
+		}
+	}
+}
+
+func TestPearsonRanksStrongerFirst(t *testing.T) {
+	d := synth(2, 500)
+	got, err := Pearson{}.Select(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 7 {
+		t.Errorf("ranking = %v, want strongest (2) then (7) first", got[:3])
+	}
+}
+
+func TestRFEWithLinearModel(t *testing.T) {
+	d := synth(3, 300)
+	sel := &RFE{Trainer: linear.NewTrainer(linear.OLSParams()), Step: 0.3}
+	got, err := sel.Select(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, 2) || !contains(got, 7) {
+		t.Errorf("RFE(linear) = %v, want {2,7}", got)
+	}
+}
+
+func TestRFEWithGBT(t *testing.T) {
+	d := synth(4, 300)
+	p := gbt.DefaultParams()
+	p.NumRounds = 30
+	sel := &RFE{Trainer: gbt.NewTrainer(p, nil), Step: 0.3}
+	got, err := sel.Select(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, 2) || !contains(got, 7) {
+		t.Errorf("RFE(gbt) = %v, want {2,7}", got)
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	d := synth(5, 50)
+	a, err := (&Random{Seed: 42}).Select(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := (&Random{Seed: 42}).Select(d, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same selection")
+		}
+	}
+	c, _ := (&Random{Seed: 43}).Select(d, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestSelectorsReturnDistinctValidIndices(t *testing.T) {
+	d := synth(6, 100)
+	selectors := []Selector{
+		Pearson{}, Spearman{}, MutualInfo{Bins: 8},
+		&Random{Seed: 1},
+		&RFE{Trainer: linear.NewTrainer(linear.OLSParams()), Step: 0.25},
+	}
+	for _, s := range selectors {
+		for _, k := range []int{1, 5, 10, 50} {
+			got, err := s.Select(d, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", s.Name(), k, err)
+			}
+			wantLen := k
+			if wantLen > 10 {
+				wantLen = 10
+			}
+			if len(got) != wantLen {
+				t.Errorf("%s k=%d: returned %d indices", s.Name(), k, len(got))
+			}
+			seen := map[int]bool{}
+			for _, j := range got {
+				if j < 0 || j >= 10 {
+					t.Errorf("%s: index %d out of range", s.Name(), j)
+				}
+				if seen[j] {
+					t.Errorf("%s: duplicate index %d", s.Name(), j)
+				}
+				seen[j] = true
+			}
+		}
+	}
+}
+
+func TestKLargerThanColumnsReturnsAll(t *testing.T) {
+	d := synth(7, 60)
+	got, err := Pearson{}.Select(d, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("k > p should return all %d columns, got %d", 10, len(got))
+	}
+	sorted := append([]int(nil), got...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("selection %v is not a permutation of all columns", got)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := synth(8, 20)
+	noY := &ml.Dataset{X: d.X}
+	for _, s := range []Selector{Pearson{}, Spearman{}, MutualInfo{Bins: 8}, &Random{}} {
+		if _, err := s.Select(noY, 2); err == nil {
+			t.Errorf("%s: no targets: want error", s.Name())
+		}
+		if _, err := s.Select(d, 0); err == nil {
+			t.Errorf("%s: k=0: want error", s.Name())
+		}
+	}
+	empty := &ml.Dataset{X: [][]float64{}, Y: []float64{}}
+	if _, err := (Pearson{}).Select(empty, 1); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	for _, name := range Methods() {
+		opts := Options{Trainer: linear.NewTrainer(linear.OLSParams())}
+		s, err := New(name, opts)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := New("chi2", Options{}); err == nil {
+		t.Error("New(chi2): want error")
+	}
+	if _, err := New(MethodRFE, Options{}); err == nil {
+		t.Error("RFE without trainer: want error")
+	}
+}
+
+func TestConstantFeatureScoredZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 100
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64()
+		d.X[i] = []float64{7, s} // col 0 constant, col 1 signal
+		d.Y[i] = 3 * s
+	}
+	for _, s := range []Selector{Pearson{}, Spearman{}, MutualInfo{Bins: 4}} {
+		got, err := s.Select(d, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got[0] != 1 {
+			t.Errorf("%s: selected constant column", s.Name())
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package features_test
+
+import (
+	"fmt"
+
+	"domd/internal/features"
+)
+
+// The generated-feature registry follows the paper's naming scheme
+// ("G1-AVG_SETTLED_AMT" with an explicit status segment); Describe renders
+// the SME-facing sentence for any feature.
+func ExampleDescribe() {
+	desc, err := features.Describe("G4-SETTLED_AVG_SETTLED_AMT")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(desc)
+	// Output: average settled dollars per RCC of type Growth (upgrades to existing systems) in SWLIN subsystem 4, already settled
+}
+
+func ExampleNewExtractor() {
+	ext := features.NewExtractor()
+	fmt.Println(len(features.StaticNames), ext.NumDynamic(), len(ext.Names()))
+	// Output: 8 1452 1460
+}

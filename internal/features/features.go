@@ -1,0 +1,247 @@
+// Package features implements Task 1 of the paper: the transformation
+// function 𝒯 that turns an avail's static attributes and its RCC history at
+// logical timestamp t* into the model-ready feature vector F_{i,t*}.
+//
+// Generated (dynamic) features enumerate the cross product
+//
+//	status {ACTIVE, SETTLED, CREATED} ×
+//	type   {G, NW, NG, ALL} ×
+//	SWLIN  {subsystem digit 0..9, ALL} ×
+//	aggregate (11 kinds, package statusq)
+//
+// which yields 3 × 4 × 11 × 11 = 1452 named features such as
+// "G4-SETTLED_AVG_SETTLED_AMT" — the paper's "G1-AVG_SETTLED_AMT" naming with
+// an explicit status segment — close to the 1490 RCC-dependent features of
+// §5.2.1. Static features are the 8 the paper lists (ship class, RMC id,
+// ship age, planning attributes, …) and are always included; feature
+// selection applies only to generated features (§3.2.1).
+//
+// Across avails and logical timestamps the output forms the paper's
+// (avail × feature × t*) tensor; Tensor materializes the slices each
+// per-timestamp model trains on.
+package features
+
+import (
+	"fmt"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+	"domd/internal/ml"
+	"domd/internal/statusq"
+)
+
+// Spec defines one generated feature.
+type Spec struct {
+	// Type restricts to one RCC type; nil means all.
+	Type *domain.RCCType
+	// Subsystem restricts to a SWLIN first digit; -1 means all.
+	Subsystem int
+	// Status is the temporal class.
+	Status domain.RCCStatus
+	// Agg is the aggregate.
+	Agg statusq.Aggregate
+}
+
+// Name renders the feature's canonical name.
+func (s Spec) Name() string {
+	typ := "ALL"
+	if s.Type != nil {
+		typ = s.Type.String()
+	}
+	sub := "ALL"
+	if s.Subsystem >= 0 {
+		sub = fmt.Sprintf("%d", s.Subsystem)
+	}
+	return fmt.Sprintf("%s%s-%s_%s", typ, sub, s.Status, s.Agg)
+}
+
+// StaticNames are the 8 static features of §5.2.1 in vector order.
+var StaticNames = []string{
+	"SHIP_CLASS", "RMC_ID", "SHIP_AGE", "PLANNED_DURATION",
+	"PLANNED_COST", "PRIOR_AVAILS", "DOCK_TYPE", "HOMEPORT_DIST",
+}
+
+// NumStatic is the static feature count.
+const NumStatic = 8
+
+// Extractor holds the generated-feature registry. It is immutable and safe
+// for concurrent use.
+type Extractor struct {
+	specs []Spec
+	names []string
+}
+
+var rccTypes = []domain.RCCType{domain.Growth, domain.NewWork, domain.NewGrowth}
+
+// NewExtractor builds the full registry in deterministic order.
+func NewExtractor() *Extractor {
+	e := &Extractor{}
+	statuses := []domain.RCCStatus{domain.Active, domain.SettledStatus, domain.Created}
+	for _, st := range statuses {
+		for t := -1; t < len(rccTypes); t++ {
+			var typ *domain.RCCType
+			if t >= 0 {
+				typ = &rccTypes[t]
+			}
+			for sub := -1; sub < 10; sub++ {
+				for agg := statusq.Aggregate(0); agg < statusq.NumAggregates; agg++ {
+					s := Spec{Type: typ, Subsystem: sub, Status: st, Agg: agg}
+					e.specs = append(e.specs, s)
+					e.names = append(e.names, s.Name())
+				}
+			}
+		}
+	}
+	return e
+}
+
+// NumDynamic is the generated-feature count (1452).
+func (e *Extractor) NumDynamic() int { return len(e.specs) }
+
+// DynamicNames returns the generated feature names in vector order. The
+// slice is shared; do not mutate.
+func (e *Extractor) DynamicNames() []string { return e.names }
+
+// Names returns static followed by dynamic names (the full F_{i,t*} order).
+func (e *Extractor) Names() []string {
+	out := make([]string, 0, NumStatic+len(e.names))
+	out = append(out, StaticNames...)
+	return append(out, e.names...)
+}
+
+// Specs exposes the registry (shared; do not mutate).
+func (e *Extractor) Specs() []Spec { return e.specs }
+
+// StaticVector encodes the 8 static features of an avail.
+func StaticVector(a *domain.Avail) []float64 {
+	return []float64{
+		float64(a.ShipClass),
+		float64(a.RMC),
+		a.ShipAge,
+		float64(a.PlannedDuration()),
+		a.PlannedCost,
+		float64(a.PriorAvails),
+		float64(a.DockType),
+		a.HomeportDist,
+	}
+}
+
+// DynamicVector evaluates every generated feature at ts using the engine's
+// single-pass cell statistics.
+func (e *Extractor) DynamicVector(eng *statusq.Engine, ts float64) ([]float64, error) {
+	// One cell map per status class.
+	cellsByStatus := make(map[domain.RCCStatus]map[statusq.GroupKey]statusq.CellStats, 3)
+	for _, st := range []domain.RCCStatus{domain.Active, domain.SettledStatus, domain.Created} {
+		cells, err := eng.CellStatsAt(ts, st)
+		if err != nil {
+			return nil, err
+		}
+		cellsByStatus[st] = cells
+	}
+	total := eng.CreatedCount(ts)
+	out := make([]float64, len(e.specs))
+	// Cache merged cells per (status, type, subsystem) selection to avoid
+	// re-merging for each of the 11 aggregates.
+	type selKey struct {
+		st  domain.RCCStatus
+		typ int // -1 all
+		sub int // -1 all
+	}
+	merged := make(map[selKey]statusq.CellStats)
+	for i, s := range e.specs {
+		tcode := -1
+		if s.Type != nil {
+			tcode = int(*s.Type)
+		}
+		k := selKey{st: s.Status, typ: tcode, sub: s.Subsystem}
+		cell, ok := merged[k]
+		if !ok {
+			for gk, c := range cellsByStatus[s.Status] {
+				if tcode >= 0 && int(gk.Type) != tcode {
+					continue
+				}
+				if s.Subsystem >= 0 && gk.Subsystem != s.Subsystem {
+					continue
+				}
+				cell = cell.Merge(c)
+			}
+			merged[k] = cell
+		}
+		out[i] = cell.Aggregate(s.Agg, total, ts)
+	}
+	return out, nil
+}
+
+// Vector concatenates static and dynamic features for one avail at ts.
+func (e *Extractor) Vector(eng *statusq.Engine, ts float64) ([]float64, error) {
+	dyn, err := e.DynamicVector(eng, ts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, NumStatic+len(dyn))
+	out = append(out, StaticVector(eng.Avail())...)
+	return append(out, dyn...), nil
+}
+
+// Tensor is the (avail × feature × t*) feature tensor of §3.1: one
+// ml.Dataset slice per logical timestamp, rows aligned with Avails.
+type Tensor struct {
+	// Timestamps are the logical times of the slices, ascending.
+	Timestamps []float64
+	// Slices[k] is the dataset at Timestamps[k]; Slices[k].Y is the delay
+	// vector (nil entries impossible — only closed avails are included).
+	Slices []*ml.Dataset
+	// Avails are the closed avails the rows describe, in row order.
+	Avails []domain.Avail
+}
+
+// BuildTensor extracts the tensor for the given avails over a t* grid with
+// spacing x percent (the "model gap interval" of Problem 1): timestamps
+// 0, x, 2x, …, 100. Only closed avails are included, since training needs
+// the delay label. Engines are built with the given index kind.
+func BuildTensor(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]domain.RCC, x float64, kind index.Kind) (*Tensor, error) {
+	if x <= 0 || x > 100 {
+		return nil, fmt.Errorf("features: gap interval %f outside (0,100]", x)
+	}
+	var ts []float64
+	for v := 0.0; v < 100; v += x {
+		ts = append(ts, v)
+	}
+	ts = append(ts, 100)
+
+	t := &Tensor{Timestamps: ts}
+	names := ext.Names()
+	for range ts {
+		t.Slices = append(t.Slices, &ml.Dataset{Names: names})
+	}
+	for i := range avails {
+		a := &avails[i]
+		if a.Status != domain.StatusClosed {
+			continue
+		}
+		delay, err := a.Delay()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := statusq.NewEngine(a, rccsByAvail[a.ID], kind)
+		if err != nil {
+			return nil, fmt.Errorf("features: avail %d: %w", a.ID, err)
+		}
+		t.Avails = append(t.Avails, *a)
+		for k, tstar := range ts {
+			vec, err := ext.Vector(eng, tstar)
+			if err != nil {
+				return nil, fmt.Errorf("features: avail %d @%g: %w", a.ID, tstar, err)
+			}
+			t.Slices[k].X = append(t.Slices[k].X, vec)
+			t.Slices[k].Y = append(t.Slices[k].Y, float64(delay))
+		}
+	}
+	if len(t.Avails) == 0 {
+		return nil, fmt.Errorf("features: no closed avails")
+	}
+	return t, nil
+}
+
+// NumAvails reports the tensor's row count.
+func (t *Tensor) NumAvails() int { return len(t.Avails) }

@@ -1,0 +1,36 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"domd/internal/fusion"
+)
+
+// Fuse a DoMD trajectory (estimates at 0%, 10%, 20% of planned duration)
+// with the paper's selected technique.
+func ExampleAverage() {
+	f, err := fusion.New(fusion.MethodAverage)
+	if err != nil {
+		panic(err)
+	}
+	fused, err := f.Fuse([]float64{30, 18, 24})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f days\n", fused)
+	// Output: 24 days
+}
+
+func ExampleRecency() {
+	// Future-work fuser: exponentially weight recent estimates.
+	r, err := fusion.NewRecency(0.5)
+	if err != nil {
+		panic(err)
+	}
+	fused, err := r.Fuse([]float64{0, 30}) // weights 1/3 and 2/3
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f days\n", fused)
+	// Output: 20 days
+}

@@ -1,0 +1,107 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper evaluates none/min/average and notes "there are many other
+// possible ensembling methods but we leave these for future work" (Task 6).
+// This file implements that future work: median fusion (robust to one bad
+// timeline model), recency-weighted fusion (later models have seen more of
+// the avail), and trimmed-mean fusion (drop the extremes, average the rest).
+
+// Extended method names accepted by New.
+const (
+	MethodMedian  = "median"
+	MethodRecency = "recency"
+	MethodTrimmed = "trimmed"
+)
+
+// ExtendedMethods lists the future-work fusers implemented beyond the
+// paper's three.
+func ExtendedMethods() []string { return []string{MethodMedian, MethodRecency, MethodTrimmed} }
+
+// AllMethods lists every fusion technique, paper ones first.
+func AllMethods() []string { return append(Methods(), ExtendedMethods()...) }
+
+// Median returns the middle prediction (mean of the two middles for even
+// counts).
+type Median struct{}
+
+// Name implements Fuser.
+func (Median) Name() string { return MethodMedian }
+
+// Fuse implements Fuser.
+func (Median) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	s := append([]float64(nil), preds...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Recency weights predictions exponentially toward the most recent one:
+// weight_i ∝ Lambda^(n-1-i). Lambda in (0, 1]; 1 degrades to average.
+type Recency struct{ Lambda float64 }
+
+// NewRecency validates λ ∈ (0, 1].
+func NewRecency(lambda float64) (Recency, error) {
+	if lambda <= 0 || lambda > 1 {
+		return Recency{}, fmt.Errorf("fusion: recency lambda %f outside (0,1]", lambda)
+	}
+	return Recency{Lambda: lambda}, nil
+}
+
+// Name implements Fuser.
+func (r Recency) Name() string { return MethodRecency }
+
+// Fuse implements Fuser.
+func (r Recency) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	lambda := r.Lambda
+	if lambda == 0 {
+		lambda = 0.7
+	}
+	var sum, wsum float64
+	n := len(preds)
+	for i, p := range preds {
+		w := math.Pow(lambda, float64(n-1-i))
+		sum += w * p
+		wsum += w
+	}
+	return sum / wsum, nil
+}
+
+// Trimmed drops the single lowest and highest prediction (when there are at
+// least three) and averages the remainder.
+type Trimmed struct{}
+
+// Name implements Fuser.
+func (Trimmed) Name() string { return MethodTrimmed }
+
+// Fuse implements Fuser.
+func (Trimmed) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	if len(preds) < 3 {
+		return Average{}.Fuse(preds)
+	}
+	s := append([]float64(nil), preds...)
+	sort.Float64s(s)
+	s = s[1 : len(s)-1]
+	sum := 0.0
+	for _, p := range s {
+		sum += p
+	}
+	return sum / float64(len(s)), nil
+}

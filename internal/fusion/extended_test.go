@@ -1,0 +1,147 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	m := Median{}
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{1, 9}, 5},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{1, 2, 100, 3}, 2.5},
+	}
+	for _, c := range cases {
+		got, err := m.Fuse(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Median(%v) = %f, want %f", c.in, got, c.want)
+		}
+	}
+	if _, err := m.Fuse(nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestMedianRobustToOutlier(t *testing.T) {
+	preds := []float64{20, 22, 21, 19, 500} // one broken timeline model
+	med, _ := Median{}.Fuse(preds)
+	avg, _ := Average{}.Fuse(preds)
+	if math.Abs(med-20.5) > 1 {
+		t.Errorf("median = %f, want ≈20.5", med)
+	}
+	if math.Abs(avg-20.5) < math.Abs(med-20.5) {
+		t.Error("median should resist the outlier better than average")
+	}
+}
+
+func TestRecency(t *testing.T) {
+	r, err := NewRecency(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights for [a, b]: a gets 0.5, b gets 1 → (0.5a + b)/1.5
+	got, err := r.Fuse([]float64{0, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-12 {
+		t.Errorf("recency = %f, want 20", got)
+	}
+	// Lambda 1 degrades to average.
+	one, _ := NewRecency(1)
+	a, _ := one.Fuse([]float64{10, 20, 30})
+	if math.Abs(a-20) > 1e-12 {
+		t.Errorf("lambda=1 = %f, want mean 20", a)
+	}
+	if _, err := NewRecency(0); err == nil {
+		t.Error("lambda=0: want error")
+	}
+	if _, err := NewRecency(1.5); err == nil {
+		t.Error("lambda>1: want error")
+	}
+}
+
+func TestRecencyWeightsLater(t *testing.T) {
+	r, _ := NewRecency(0.5)
+	// Rising trajectory: recency must land above the plain average.
+	preds := []float64{0, 10, 20, 30}
+	rec, _ := r.Fuse(preds)
+	avg, _ := Average{}.Fuse(preds)
+	if rec <= avg {
+		t.Errorf("recency %f should exceed average %f on a rising trajectory", rec, avg)
+	}
+}
+
+func TestTrimmed(t *testing.T) {
+	tr := Trimmed{}
+	got, err := tr.Fuse([]float64{1, 2, 3, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("trimmed = %f, want 2.5", got)
+	}
+	// Fewer than 3 falls back to average.
+	two, _ := tr.Fuse([]float64{10, 20})
+	if two != 15 {
+		t.Errorf("trimmed of 2 = %f, want mean 15", two)
+	}
+}
+
+func TestNewKnowsExtendedMethods(t *testing.T) {
+	for _, name := range AllMethods() {
+		f, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if f.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, f.Name())
+		}
+	}
+	if len(AllMethods()) != 6 {
+		t.Errorf("AllMethods = %v, want 6 techniques", AllMethods())
+	}
+}
+
+// TestQuickExtendedFusionBounds: every extended fuser stays within the
+// prediction envelope.
+func TestQuickExtendedFusionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		preds := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range preds {
+			preds[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, preds[i])
+			hi = math.Max(hi, preds[i])
+		}
+		for _, name := range ExtendedMethods() {
+			fz, err := New(name)
+			if err != nil {
+				return false
+			}
+			v, err := fz.Fuse(preds)
+			if err != nil {
+				return false
+			}
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

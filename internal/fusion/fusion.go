@@ -1,0 +1,107 @@
+// Package fusion implements Task 6 of the paper: combining the DoMD
+// predictions made at every logical timestamp up to t* into a single fused
+// estimate. The paper evaluates no fusion (latest prediction), minimum
+// fusion, and average fusion — selecting average.
+package fusion
+
+import "fmt"
+
+// Fuser combines the trajectory of predictions {d̂_0, d̂_x, ..., d̂_t*}
+// (chronological order) into one estimate.
+type Fuser interface {
+	// Name identifies the method.
+	Name() string
+	// Fuse combines preds (must be non-empty, chronological).
+	Fuse(preds []float64) (float64, error)
+}
+
+// Method names accepted by New, matching §5.2.1.
+const (
+	MethodNone    = "none"
+	MethodMin     = "min"
+	MethodAverage = "average"
+)
+
+// Methods lists all fusion techniques in the paper's order.
+func Methods() []string { return []string{MethodNone, MethodMin, MethodAverage} }
+
+// New constructs a Fuser by name.
+func New(name string) (Fuser, error) {
+	switch name {
+	case MethodNone:
+		return None{}, nil
+	case MethodMin:
+		return Min{}, nil
+	case MethodAverage:
+		return Average{}, nil
+	case MethodMedian:
+		return Median{}, nil
+	case MethodRecency:
+		return NewRecency(0.7)
+	case MethodTrimmed:
+		return Trimmed{}, nil
+	default:
+		return nil, fmt.Errorf("fusion: unknown method %q", name)
+	}
+}
+
+func check(preds []float64) error {
+	if len(preds) == 0 {
+		return fmt.Errorf("fusion: no predictions to fuse")
+	}
+	return nil
+}
+
+// None returns the most recent prediction unchanged (the default f⁰ used
+// while earlier pipeline stages are being optimized).
+type None struct{}
+
+// Name implements Fuser.
+func (None) Name() string { return MethodNone }
+
+// Fuse implements Fuser.
+func (None) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	return preds[len(preds)-1], nil
+}
+
+// Min returns the minimum prediction over the timeline.
+type Min struct{}
+
+// Name implements Fuser.
+func (Min) Name() string { return MethodMin }
+
+// Fuse implements Fuser.
+func (Min) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	m := preds[0]
+	for _, p := range preds[1:] {
+		if p < m {
+			m = p
+		}
+	}
+	return m, nil
+}
+
+// Average returns the mean prediction over the timeline — the paper's
+// selected technique.
+type Average struct{}
+
+// Name implements Fuser.
+func (Average) Name() string { return MethodAverage }
+
+// Fuse implements Fuser.
+func (Average) Fuse(preds []float64) (float64, error) {
+	if err := check(preds); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, p := range preds {
+		s += p
+	}
+	return s / float64(len(preds)), nil
+}

@@ -1,0 +1,101 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	preds := []float64{30, 10, 20}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{MethodNone, 20},
+		{MethodMin, 10},
+		{MethodAverage, 20},
+	}
+	for _, c := range cases {
+		f, err := New(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Fuse(preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s.Fuse = %f, want %f", c.name, got, c.want)
+		}
+		if f.Name() != c.name {
+			t.Errorf("Name = %q, want %q", f.Name(), c.name)
+		}
+	}
+}
+
+func TestSinglePrediction(t *testing.T) {
+	for _, name := range Methods() {
+		f, _ := New(name)
+		got, err := f.Fuse([]float64{42})
+		if err != nil || got != 42 {
+			t.Errorf("%s.Fuse([42]) = %f,%v want 42,nil", name, got, err)
+		}
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	for _, name := range Methods() {
+		f, _ := New(name)
+		if _, err := f.Fuse(nil); err == nil {
+			t.Errorf("%s: empty input: want error", name)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("mode"); err == nil {
+		t.Error("New(mode): want error")
+	}
+}
+
+// TestQuickFusionBounds: every fused value lies within [min, max] of the
+// inputs, and min fusion is <= average <= none is not generally true, but
+// min <= average always holds.
+func TestQuickFusionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		preds := make([]float64, n)
+		lo, hi := 1e18, -1e18
+		for i := range preds {
+			preds[i] = rng.NormFloat64() * 100
+			if preds[i] < lo {
+				lo = preds[i]
+			}
+			if preds[i] > hi {
+				hi = preds[i]
+			}
+		}
+		var vals []float64
+		for _, name := range Methods() {
+			fz, err := New(name)
+			if err != nil {
+				return false
+			}
+			v, err := fz.Fuse(preds)
+			if err != nil {
+				return false
+			}
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+			vals = append(vals, v)
+		}
+		// vals = [none, min, average]; min <= average.
+		return vals[1] <= vals[2]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

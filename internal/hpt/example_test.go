@@ -1,0 +1,25 @@
+package hpt_test
+
+import (
+	"fmt"
+
+	"domd/internal/hpt"
+)
+
+// Minimize a toy objective with the AutoHPT module's TPE tuner.
+func ExampleTPE() {
+	space := hpt.Space{
+		{Name: "x", Kind: hpt.Float, Min: -10, Max: 10},
+	}
+	objective := func(c hpt.Config) (float64, error) {
+		d := c["x"] - 3
+		return d * d, nil
+	}
+	tuner := &hpt.TPE{Seed: 1}
+	res, err := tuner.Optimize(space, objective, 60)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best x within 1 of optimum: %v\n", res.Best.Config["x"] > 2 && res.Best.Config["x"] < 4)
+	// Output: best x within 1 of optimum: true
+}

@@ -1,0 +1,366 @@
+// Package hpt is the fully automated hyperparameter tuning (AutoHPT) module
+// of paper §3.2.4: Sequential Model-Based Optimization driven by a
+// Tree-structured Parzen Estimator (TPE, Bergstra et al.), with a
+// random-search baseline. Task 5 selects both the tuner and its trial budget
+// (the paper lands on 30 trials).
+package hpt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ParamKind distinguishes continuous, integer and categorical dimensions.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	Float ParamKind = iota
+	Int
+	Categorical
+)
+
+// Param defines one search dimension.
+type Param struct {
+	Name string
+	Kind ParamKind
+	// Min/Max bound Float and Int params (inclusive).
+	Min, Max float64
+	// Log samples Float params on a log scale (Min must be > 0).
+	Log bool
+	// Choices lists Categorical values (stored as float64 codes).
+	Choices []float64
+}
+
+// Validate rejects malformed dimensions.
+func (p Param) Validate() error {
+	switch p.Kind {
+	case Float, Int:
+		if p.Max < p.Min {
+			return fmt.Errorf("hpt: param %s: max %f < min %f", p.Name, p.Max, p.Min)
+		}
+		if p.Log && p.Min <= 0 {
+			return fmt.Errorf("hpt: param %s: log scale requires min > 0", p.Name)
+		}
+	case Categorical:
+		if len(p.Choices) == 0 {
+			return fmt.Errorf("hpt: param %s: no choices", p.Name)
+		}
+	default:
+		return fmt.Errorf("hpt: param %s: unknown kind %d", p.Name, p.Kind)
+	}
+	return nil
+}
+
+// Space is an ordered set of dimensions.
+type Space []Param
+
+// Validate checks every dimension and name uniqueness.
+func (s Space) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("hpt: empty space")
+	}
+	seen := map[string]bool{}
+	for _, p := range s {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("hpt: duplicate param %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// Config is a sampled point: parameter name to value.
+type Config map[string]float64
+
+// Objective evaluates a configuration and returns a score to MINIMIZE
+// (validation MAE in the DoMD pipeline).
+type Objective func(Config) (float64, error)
+
+// Trial records one evaluated configuration.
+type Trial struct {
+	Config Config
+	Score  float64
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Best   Trial
+	Trials []Trial
+}
+
+// Tuner is a hyperparameter determination method p ∈ P (Task 5).
+type Tuner interface {
+	Name() string
+	// Optimize runs up to budget objective evaluations.
+	Optimize(space Space, obj Objective, budget int) (Result, error)
+}
+
+// sampleUniform draws one value for p from its prior.
+func sampleUniform(rng *rand.Rand, p Param) float64 {
+	switch p.Kind {
+	case Categorical:
+		return p.Choices[rng.Intn(len(p.Choices))]
+	case Int:
+		lo, hi := int(p.Min), int(p.Max)
+		return float64(lo + rng.Intn(hi-lo+1))
+	default:
+		if p.Log {
+			lo, hi := math.Log(p.Min), math.Log(p.Max)
+			return math.Exp(lo + rng.Float64()*(hi-lo))
+		}
+		return p.Min + rng.Float64()*(p.Max-p.Min)
+	}
+}
+
+// RandomSearch samples each trial independently from the prior.
+type RandomSearch struct{ Seed int64 }
+
+// Name implements Tuner.
+func (*RandomSearch) Name() string { return "random" }
+
+// Optimize implements Tuner.
+func (r *RandomSearch) Optimize(space Space, obj Objective, budget int) (Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if budget < 1 {
+		return Result{}, fmt.Errorf("hpt: budget %d < 1", budget)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	var res Result
+	res.Best.Score = math.Inf(1)
+	for t := 0; t < budget; t++ {
+		cfg := Config{}
+		for _, p := range space {
+			cfg[p.Name] = sampleUniform(rng, p)
+		}
+		score, err := obj(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("hpt: trial %d: %w", t, err)
+		}
+		tr := Trial{Config: cfg, Score: score}
+		res.Trials = append(res.Trials, tr)
+		if score < res.Best.Score {
+			res.Best = tr
+		}
+	}
+	return res, nil
+}
+
+// TPE is the Tree-structured Parzen Estimator: after NStartup random
+// trials, it splits history at the Gamma quantile into "good" and "bad"
+// sets, models each with per-dimension Parzen (kernel density) estimators
+// l(x) and g(x), draws NCandidates from l, and evaluates the candidate
+// maximizing l(x)/g(x) — the SMBO expected-improvement surrogate.
+type TPE struct {
+	Seed int64
+	// NStartup is the number of initial random trials (default 8).
+	NStartup int
+	// Gamma is the good/bad split quantile (default 0.25).
+	Gamma float64
+	// NCandidates is the number of samples scored per step (default 24).
+	NCandidates int
+}
+
+// Name implements Tuner.
+func (*TPE) Name() string { return "tpe" }
+
+// Optimize implements Tuner.
+func (t *TPE) Optimize(space Space, obj Objective, budget int) (Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if budget < 1 {
+		return Result{}, fmt.Errorf("hpt: budget %d < 1", budget)
+	}
+	startup := t.NStartup
+	if startup <= 0 {
+		startup = 8
+	}
+	gamma := t.Gamma
+	if gamma <= 0 || gamma >= 1 {
+		gamma = 0.25
+	}
+	ncand := t.NCandidates
+	if ncand <= 0 {
+		ncand = 24
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	var res Result
+	res.Best.Score = math.Inf(1)
+
+	for trial := 0; trial < budget; trial++ {
+		var cfg Config
+		if trial < startup || len(res.Trials) < 4 {
+			cfg = Config{}
+			for _, p := range space {
+				cfg[p.Name] = sampleUniform(rng, p)
+			}
+		} else {
+			cfg = t.suggest(rng, space, res.Trials, gamma, ncand)
+		}
+		score, err := obj(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("hpt: trial %d: %w", trial, err)
+		}
+		tr := Trial{Config: cfg, Score: score}
+		res.Trials = append(res.Trials, tr)
+		if score < res.Best.Score {
+			res.Best = tr
+		}
+	}
+	return res, nil
+}
+
+// suggest draws candidates from the good-density and returns the one with
+// the highest l/g ratio.
+func (t *TPE) suggest(rng *rand.Rand, space Space, history []Trial, gamma float64, ncand int) Config {
+	// Partition history at the gamma quantile of scores.
+	sorted := append([]Trial(nil), history...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+	nGood := int(math.Ceil(gamma * float64(len(sorted))))
+	if nGood < 2 {
+		nGood = 2
+	}
+	if nGood >= len(sorted) {
+		nGood = len(sorted) - 1
+	}
+	good, bad := sorted[:nGood], sorted[nGood:]
+
+	best := Config{}
+	bestScore := math.Inf(-1)
+	for c := 0; c < ncand; c++ {
+		cand := Config{}
+		logRatio := 0.0
+		for _, p := range space {
+			v := sampleFromParzen(rng, p, good)
+			cand[p.Name] = v
+			logRatio += logDensity(p, good, v) - logDensity(p, bad, v)
+		}
+		if logRatio > bestScore {
+			bestScore = logRatio
+			best = cand
+		}
+	}
+	return best
+}
+
+// parzenSigma is the kernel bandwidth heuristic: range / sqrt(#obs).
+func parzenSigma(p Param, n int) float64 {
+	span := p.Max - p.Min
+	if p.Log {
+		span = math.Log(p.Max) - math.Log(p.Min)
+	}
+	if span <= 0 {
+		span = 1
+	}
+	return span / math.Sqrt(float64(n)+1)
+}
+
+// toScale maps a value into the (possibly log) sampling scale.
+func toScale(p Param, v float64) float64 {
+	if p.Log {
+		return math.Log(v)
+	}
+	return v
+}
+
+func fromScale(p Param, v float64) float64 {
+	if p.Log {
+		return math.Exp(v)
+	}
+	return v
+}
+
+// sampleFromParzen draws from the kernel mixture centered on the good
+// observations (uniform kernel weights), clipped to bounds.
+func sampleFromParzen(rng *rand.Rand, p Param, good []Trial) float64 {
+	if p.Kind == Categorical {
+		// Weighted by counts with add-one smoothing.
+		weights := make([]float64, len(p.Choices))
+		for i := range weights {
+			weights[i] = 1
+		}
+		for _, tr := range good {
+			v := tr.Config[p.Name]
+			for i, c := range p.Choices {
+				if c == v {
+					weights[i]++
+				}
+			}
+		}
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		u := rng.Float64() * total
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				return p.Choices[i]
+			}
+		}
+		return p.Choices[len(p.Choices)-1]
+	}
+	center := good[rng.Intn(len(good))].Config[p.Name]
+	sigma := parzenSigma(p, len(good))
+	v := toScale(p, center) + rng.NormFloat64()*sigma
+	v = fromScale(p, v)
+	if v < p.Min {
+		v = p.Min
+	}
+	if v > p.Max {
+		v = p.Max
+	}
+	if p.Kind == Int {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// logDensity evaluates the log Parzen mixture density of obs at v.
+func logDensity(p Param, obs []Trial, v float64) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	if p.Kind == Categorical {
+		count := 1.0 // add-one smoothing
+		for _, tr := range obs {
+			if tr.Config[p.Name] == v {
+				count++
+			}
+		}
+		return math.Log(count / (float64(len(obs)) + float64(len(p.Choices))))
+	}
+	sigma := parzenSigma(p, len(obs))
+	x := toScale(p, v)
+	sum := 0.0
+	for _, tr := range obs {
+		d := (x - toScale(p, tr.Config[p.Name])) / sigma
+		sum += math.Exp(-0.5 * d * d)
+	}
+	// Normalization constants cancel in the l/g ratio only if sigmas match;
+	// include them for correctness.
+	return math.Log(sum/(float64(len(obs))*sigma*math.Sqrt(2*math.Pi)) + 1e-300)
+}
+
+// XGBoostSpace is the search space of the framework's key booster
+// hyperparameters (§3.2.4 "key parameters to optimize").
+func XGBoostSpace() Space {
+	return Space{
+		{Name: "num_rounds", Kind: Int, Min: 20, Max: 400},
+		{Name: "learning_rate", Kind: Float, Min: 0.01, Max: 0.5, Log: true},
+		{Name: "max_depth", Kind: Int, Min: 2, Max: 8},
+		{Name: "min_child_weight", Kind: Float, Min: 0.01, Max: 10, Log: true},
+		{Name: "lambda", Kind: Float, Min: 0.05, Max: 10, Log: true},
+		{Name: "gamma", Kind: Float, Min: 0, Max: 5},
+		{Name: "subsample", Kind: Float, Min: 0.5, Max: 1},
+		{Name: "colsample", Kind: Float, Min: 0.5, Max: 1},
+	}
+}

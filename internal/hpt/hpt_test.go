@@ -1,0 +1,201 @@
+package hpt
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic has its minimum at x=3, y=-2 with value 0.
+func quadratic(c Config) (float64, error) {
+	dx := c["x"] - 3
+	dy := c["y"] + 2
+	return dx*dx + dy*dy, nil
+}
+
+func quadSpace() Space {
+	return Space{
+		{Name: "x", Kind: Float, Min: -10, Max: 10},
+		{Name: "y", Kind: Float, Min: -10, Max: 10},
+	}
+}
+
+func TestRandomSearchFindsDecentPoint(t *testing.T) {
+	r := &RandomSearch{Seed: 1}
+	res, err := r.Optimize(quadSpace(), quadratic, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 200 {
+		t.Fatalf("trials = %d, want 200", len(res.Trials))
+	}
+	if res.Best.Score > 5 {
+		t.Errorf("best score = %f, want < 5 after 200 random trials", res.Best.Score)
+	}
+}
+
+func TestTPEBeatsRandomOnQuadratic(t *testing.T) {
+	budget := 60
+	var tpeSum, rndSum float64
+	const reps = 5
+	for s := int64(0); s < reps; s++ {
+		tpe := &TPE{Seed: s}
+		rt, err := tpe.Optimize(quadSpace(), quadratic, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd := &RandomSearch{Seed: s}
+		rr, err := rnd.Optimize(quadSpace(), quadratic, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpeSum += rt.Best.Score
+		rndSum += rr.Best.Score
+	}
+	if tpeSum >= rndSum {
+		t.Errorf("TPE mean best %f should beat random %f over %d seeds",
+			tpeSum/reps, rndSum/reps, reps)
+	}
+}
+
+func TestTPEImprovesWithBudget(t *testing.T) {
+	small, err := (&TPE{Seed: 7}).Optimize(quadSpace(), quadratic, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := (&TPE{Seed: 7}).Optimize(quadSpace(), quadratic, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Best.Score > small.Best.Score {
+		t.Errorf("more budget should not hurt: %f vs %f", large.Best.Score, small.Best.Score)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	space := Space{
+		{Name: "f", Kind: Float, Min: 2, Max: 5},
+		{Name: "fl", Kind: Float, Min: 0.01, Max: 10, Log: true},
+		{Name: "i", Kind: Int, Min: 1, Max: 4},
+		{Name: "c", Kind: Categorical, Choices: []float64{10, 20, 30}},
+	}
+	check := func(c Config) (float64, error) {
+		if c["f"] < 2 || c["f"] > 5 {
+			t.Errorf("f = %f out of bounds", c["f"])
+		}
+		if c["fl"] < 0.01 || c["fl"] > 10 {
+			t.Errorf("fl = %f out of bounds", c["fl"])
+		}
+		if c["i"] != math.Trunc(c["i"]) || c["i"] < 1 || c["i"] > 4 {
+			t.Errorf("i = %f not an int in [1,4]", c["i"])
+		}
+		if c["c"] != 10 && c["c"] != 20 && c["c"] != 30 {
+			t.Errorf("c = %f not a choice", c["c"])
+		}
+		return c["f"], nil
+	}
+	for _, tn := range []Tuner{&RandomSearch{Seed: 3}, &TPE{Seed: 3}} {
+		if _, err := tn.Optimize(space, check, 50); err != nil {
+			t.Fatalf("%s: %v", tn.Name(), err)
+		}
+	}
+}
+
+func TestCategoricalConverges(t *testing.T) {
+	// Objective strongly prefers choice 20.
+	space := Space{{Name: "c", Kind: Categorical, Choices: []float64{10, 20, 30}}}
+	obj := func(c Config) (float64, error) {
+		if c["c"] == 20 {
+			return 0, nil
+		}
+		return 100, nil
+	}
+	res, err := (&TPE{Seed: 5}).Optimize(space, obj, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Config["c"] != 20 {
+		t.Errorf("best categorical = %f, want 20", res.Best.Config["c"])
+	}
+	// Later trials should mostly pick 20.
+	hits := 0
+	for _, tr := range res.Trials[20:] {
+		if tr.Config["c"] == 20 {
+			hits++
+		}
+	}
+	if hits < 10 {
+		t.Errorf("TPE exploited best categorical only %d/20 times", hits)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := (&TPE{Seed: 11}).Optimize(quadSpace(), quadratic, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&TPE{Seed: 11}).Optimize(quadSpace(), quadratic, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Score != b.Trials[i].Score {
+			t.Fatal("same seed must reproduce the same trajectory")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Space{
+		{},
+		{{Name: "x", Kind: Float, Min: 5, Max: 2}},
+		{{Name: "x", Kind: Float, Min: 0, Max: 1, Log: true}},
+		{{Name: "x", Kind: Categorical}},
+		{{Name: "x", Kind: Float, Min: 0, Max: 1}, {Name: "x", Kind: Float, Min: 0, Max: 1}},
+		{{Name: "x", Kind: ParamKind(9), Min: 0, Max: 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	for _, tn := range []Tuner{&RandomSearch{}, &TPE{}} {
+		if _, err := tn.Optimize(quadSpace(), quadratic, 0); err == nil {
+			t.Errorf("%s: zero budget: want error", tn.Name())
+		}
+		if _, err := tn.Optimize(bad[1], quadratic, 5); err == nil {
+			t.Errorf("%s: bad space: want error", tn.Name())
+		}
+	}
+}
+
+func TestObjectiveErrorPropagates(t *testing.T) {
+	boom := func(Config) (float64, error) { return 0, errBoom }
+	if _, err := (&RandomSearch{}).Optimize(quadSpace(), boom, 5); err == nil {
+		t.Error("objective error must propagate")
+	}
+	if _, err := (&TPE{}).Optimize(quadSpace(), boom, 5); err == nil {
+		t.Error("objective error must propagate")
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom = boomErr{}
+
+func TestXGBoostSpaceValid(t *testing.T) {
+	s := XGBoostSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("XGBoostSpace invalid: %v", err)
+	}
+	names := map[string]bool{}
+	for _, p := range s {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"num_rounds", "learning_rate", "max_depth", "lambda", "subsample"} {
+		if !names[want] {
+			t.Errorf("XGBoostSpace missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package index
+
+import "slices"
+
+// AVLIndex is the paper's winning design (§4.1): two self-balancing AVL
+// search trees, one keyed by interval start (creation date) and one keyed by
+// interval end (settlement date). Subtree-size augmentation gives O(log n)
+// cardinality queries; result-set queries are O(log n + k) in-order
+// traversals of the key range (-inf, t].
+type AVLIndex struct {
+	byStart *avlTree // key = Start; payload end date for active filtering
+	byEnd   *avlTree // key = End
+}
+
+// NewAVL returns an empty dual-AVL index.
+func NewAVL() *AVLIndex {
+	return &AVLIndex{byStart: &avlTree{}, byEnd: &avlTree{}}
+}
+
+// BulkLoad builds both trees from scratch in O(n log n): one sort per tree
+// plus a linear balanced build from a contiguous node arena. This is the
+// fast construction path behind the paper's Fig. 5a numbers; incremental
+// Insert/Delete remain available afterwards.
+func (x *AVLIndex) BulkLoad(ivs []Interval) error {
+	starts := make([]avlEntry, len(ivs))
+	ends := make([]avlEntry, len(ivs))
+	for i, iv := range ivs {
+		if err := iv.Validate(); err != nil {
+			return err
+		}
+		starts[i] = avlEntry{key: iv.Start, aux: iv.End, id: iv.ID}
+		ends[i] = avlEntry{key: iv.End, aux: iv.Start, id: iv.ID}
+	}
+	x.byStart.bulkLoad(starts)
+	x.byEnd.bulkLoad(ends)
+	return nil
+}
+
+// Insert implements TimeIndex.
+func (x *AVLIndex) Insert(iv Interval) error {
+	if err := iv.Validate(); err != nil {
+		return err
+	}
+	x.byStart.insert(avlEntry{key: iv.Start, aux: iv.End, id: iv.ID})
+	x.byEnd.insert(avlEntry{key: iv.End, aux: iv.Start, id: iv.ID})
+	return nil
+}
+
+// Delete implements TimeIndex.
+func (x *AVLIndex) Delete(iv Interval) bool {
+	a := x.byStart.delete(avlEntry{key: iv.Start, aux: iv.End, id: iv.ID})
+	b := x.byEnd.delete(avlEntry{key: iv.End, aux: iv.Start, id: iv.ID})
+	return a && b
+}
+
+// Len implements TimeIndex.
+func (x *AVLIndex) Len() int { return x.byStart.size() }
+
+// ActiveAt implements TimeIndex: traverse starts <= t, keep those whose end
+// is still in the future.
+func (x *AVLIndex) ActiveAt(t int64) []int {
+	var ids []int
+	x.byStart.ascendLE(t, func(e avlEntry) {
+		if e.aux > t {
+			ids = append(ids, e.id)
+		}
+	})
+	return ids
+}
+
+// SettledBy implements TimeIndex: every entry in the end-tree with key <= t.
+func (x *AVLIndex) SettledBy(t int64) []int {
+	var ids []int
+	x.byEnd.ascendLE(t, func(e avlEntry) { ids = append(ids, e.id) })
+	return ids
+}
+
+// CreatedBy implements TimeIndex: every entry in the start-tree with key <= t.
+func (x *AVLIndex) CreatedBy(t int64) []int {
+	var ids []int
+	x.byStart.ascendLE(t, func(e avlEntry) { ids = append(ids, e.id) })
+	return ids
+}
+
+// CountActiveAt implements TimeIndex in O(log n) using size-augmented rank
+// queries: |start <= t| - |end <= t|.
+func (x *AVLIndex) CountActiveAt(t int64) int {
+	return x.byStart.countLE(t) - x.byEnd.countLE(t)
+}
+
+// CountSettledBy implements TimeIndex in O(log n).
+func (x *AVLIndex) CountSettledBy(t int64) int { return x.byEnd.countLE(t) }
+
+// CreatedIn implements TimeIndex: start-tree keys in (lo, hi].
+func (x *AVLIndex) CreatedIn(lo, hi int64) []int {
+	var ids []int
+	x.byStart.ascendRange(lo, hi, func(e avlEntry) { ids = append(ids, e.id) })
+	return ids
+}
+
+// SettledIn implements TimeIndex: end-tree keys in (lo, hi].
+func (x *AVLIndex) SettledIn(lo, hi int64) []int {
+	var ids []int
+	x.byEnd.ascendRange(lo, hi, func(e avlEntry) { ids = append(ids, e.id) })
+	return ids
+}
+
+// MemoryBytes implements TimeIndex. Each entry is stored once per tree; a
+// node carries the entry (24 B), two child pointers, height and subtree size.
+func (x *AVLIndex) MemoryBytes() int {
+	const nodeBytes = 24 + 2*8 + 4 + 4 // entry + children + height + size
+	return (x.byStart.size() + x.byEnd.size()) * nodeBytes
+}
+
+// avlEntry is one keyed record. Duplicate keys are permitted; entries are
+// totally ordered by (key, id, aux) so deletion can find an exact match.
+type avlEntry struct {
+	key int64
+	aux int64 // the other endpoint of the interval
+	id  int
+}
+
+func (a avlEntry) less(b avlEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.id != b.id {
+		return a.id < b.id
+	}
+	return a.aux < b.aux
+}
+
+type avlNode struct {
+	entry       avlEntry
+	left, right *avlNode
+	height      int32
+	count       int32 // subtree size including this node
+}
+
+type avlTree struct {
+	root *avlNode
+}
+
+func (t *avlTree) size() int { return int(subSize(t.root)) }
+
+func height(n *avlNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func subSize(n *avlNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func (n *avlNode) update() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	n.count = subSize(n.left) + subSize(n.right) + 1
+}
+
+func rotateRight(y *avlNode) *avlNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *avlNode) *avlNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func rebalance(n *avlNode) *avlNode {
+	n.update()
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// bulkLoad replaces the tree contents with a perfectly balanced tree built
+// from entries (sorted in place) using a single contiguous node arena.
+func (t *avlTree) bulkLoad(entries []avlEntry) {
+	slices.SortFunc(entries, func(a, b avlEntry) int {
+		switch {
+		case a.less(b):
+			return -1
+		case b.less(a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	arena := make([]avlNode, len(entries))
+	next := 0
+	var build func(lo, hi int) *avlNode
+	build = func(lo, hi int) *avlNode {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &arena[next]
+		next++
+		n.entry = entries[mid]
+		n.left = build(lo, mid)
+		n.right = build(mid+1, hi)
+		n.update()
+		return n
+	}
+	t.root = build(0, len(entries))
+}
+
+func (t *avlTree) insert(e avlEntry) { t.root = insertNode(t.root, e) }
+
+func insertNode(n *avlNode, e avlEntry) *avlNode {
+	if n == nil {
+		return &avlNode{entry: e, height: 1, count: 1}
+	}
+	if e.less(n.entry) {
+		n.left = insertNode(n.left, e)
+	} else {
+		n.right = insertNode(n.right, e)
+	}
+	return rebalance(n)
+}
+
+func (t *avlTree) delete(e avlEntry) bool {
+	var removed bool
+	t.root, removed = deleteNode(t.root, e)
+	return removed
+}
+
+func deleteNode(n *avlNode, e avlEntry) (*avlNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case e.less(n.entry):
+		n.left, removed = deleteNode(n.left, e)
+	case n.entry.less(e):
+		n.right, removed = deleteNode(n.right, e)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.entry = succ.entry
+		n.right, _ = deleteNode(n.right, succ.entry)
+	}
+	if !removed {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// ascendLE visits every entry with key <= t in ascending order.
+func (t *avlTree) ascendLE(k int64, fn func(avlEntry)) {
+	var walk func(n *avlNode)
+	walk = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		if n.entry.key <= k {
+			walk(n.left)
+			fn(n.entry)
+			walk(n.right)
+		} else {
+			walk(n.left)
+		}
+	}
+	walk(t.root)
+}
+
+// ascendRange visits every entry with lo < key <= hi in ascending order,
+// pruning subtrees wholly outside the window (O(log n + k)).
+func (t *avlTree) ascendRange(lo, hi int64, fn func(avlEntry)) {
+	var walk func(n *avlNode)
+	walk = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		if n.entry.key > lo {
+			walk(n.left)
+			if n.entry.key <= hi {
+				fn(n.entry)
+			}
+		}
+		if n.entry.key <= hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+}
+
+// countLE returns |{entries with key <= t}| in O(log n) using subtree sizes.
+func (t *avlTree) countLE(k int64) int {
+	var c int32
+	n := t.root
+	for n != nil {
+		if n.entry.key <= k {
+			c += subSize(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return int(c)
+}
+
+// checkInvariants verifies AVL balance and ordering; used by tests.
+func (t *avlTree) checkInvariants() error {
+	_, _, err := checkNode(t.root)
+	return err
+}
+
+func checkNode(n *avlNode) (h int32, sz int32, err error) {
+	if n == nil {
+		return 0, 0, nil
+	}
+	hl, sl, err := checkNode(n.left)
+	if err != nil {
+		return 0, 0, err
+	}
+	hr, sr, err := checkNode(n.right)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.left != nil && n.entry.less(n.left.entry) {
+		return 0, 0, errOrder
+	}
+	if n.right != nil && n.right.entry.less(n.entry) {
+		return 0, 0, errOrder
+	}
+	if bf := hl - hr; bf < -1 || bf > 1 {
+		return 0, 0, errBalance
+	}
+	h = hl + 1
+	if hr >= hl {
+		h = hr + 1
+	}
+	if n.height != h {
+		return 0, 0, errHeight
+	}
+	sz = sl + sr + 1
+	if n.count != sz {
+		return 0, 0, errCount
+	}
+	return h, sz, nil
+}
+
+var (
+	errOrder   = errInvariant("ordering violated")
+	errBalance = errInvariant("balance factor out of range")
+	errHeight  = errInvariant("cached height wrong")
+	errCount   = errInvariant("cached subtree size wrong")
+)
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "index: avl invariant: " + string(e) }

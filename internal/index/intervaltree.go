@@ -1,0 +1,425 @@
+package index
+
+import "slices"
+
+// IntervalTree is an augmented self-balancing interval tree (paper §4.1):
+// an AVL-shaped BST keyed by interval start in which every node caches the
+// maximum and minimum interval end in its subtree. Stabbing queries
+// ("which RCCs are active at t*?") prune whole subtrees whose max end falls
+// at or before the query point; settled-range queries prune subtrees whose
+// min end lies beyond it. Construction is O(n log n), queries
+// O(log n + k), and insertion/deletion O(log n), matching the costs cited in
+// the paper.
+type IntervalTree struct {
+	root *itNode
+}
+
+// NewIntervalTree returns an empty interval tree.
+func NewIntervalTree() *IntervalTree { return &IntervalTree{} }
+
+// BulkLoad builds the tree from scratch in O(n log n) using a sort and a
+// linear balanced build from a contiguous node arena; augmentation fields
+// are computed bottom-up during the build.
+func (t *IntervalTree) BulkLoad(ivs []Interval) error {
+	entries := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		if err := iv.Validate(); err != nil {
+			return err
+		}
+		entries[i] = iv
+	}
+	slices.SortFunc(entries, func(a, b Interval) int {
+		switch {
+		case ivLess(a, b):
+			return -1
+		case ivLess(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	arena := make([]itNode, len(entries))
+	next := 0
+	var build func(lo, hi int) *itNode
+	build = func(lo, hi int) *itNode {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &arena[next]
+		next++
+		n.iv = entries[mid]
+		n.left = build(lo, mid)
+		n.right = build(mid+1, hi)
+		n.update()
+		return n
+	}
+	t.root = build(0, len(entries))
+	return nil
+}
+
+type itNode struct {
+	iv          Interval
+	left, right *itNode
+	height      int32
+	count       int32
+	maxEnd      int64
+	minEnd      int64
+}
+
+// Insert implements TimeIndex.
+func (t *IntervalTree) Insert(iv Interval) error {
+	if err := iv.Validate(); err != nil {
+		return err
+	}
+	t.root = itInsert(t.root, iv)
+	return nil
+}
+
+// Delete implements TimeIndex.
+func (t *IntervalTree) Delete(iv Interval) bool {
+	var removed bool
+	t.root, removed = itDelete(t.root, iv)
+	return removed
+}
+
+// Len implements TimeIndex.
+func (t *IntervalTree) Len() int { return int(itSize(t.root)) }
+
+// ActiveAt implements TimeIndex via a stabbing query: intervals with
+// Start <= t < End. Subtrees whose maxEnd <= t cannot contain an active
+// interval and are pruned.
+func (t *IntervalTree) ActiveAt(q int64) []int {
+	var ids []int
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil || n.maxEnd <= q {
+			return
+		}
+		walk(n.left)
+		if n.iv.Start <= q {
+			if n.iv.End > q {
+				ids = append(ids, n.iv.ID)
+			}
+			walk(n.right)
+		}
+		// If n.iv.Start > q, no right-subtree start can be <= q either.
+	}
+	walk(t.root)
+	return ids
+}
+
+// SettledBy implements TimeIndex: intervals with End <= t. Subtrees whose
+// minEnd exceeds t are pruned.
+func (t *IntervalTree) SettledBy(q int64) []int {
+	var ids []int
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil || n.minEnd > q {
+			return
+		}
+		walk(n.left)
+		if n.iv.End <= q {
+			ids = append(ids, n.iv.ID)
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return ids
+}
+
+// CreatedBy implements TimeIndex: the BST key range Start <= t.
+func (t *IntervalTree) CreatedBy(q int64) []int {
+	var ids []int
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil {
+			return
+		}
+		if n.iv.Start <= q {
+			walk(n.left)
+			ids = append(ids, n.iv.ID)
+			walk(n.right)
+		} else {
+			walk(n.left)
+		}
+	}
+	walk(t.root)
+	return ids
+}
+
+// CountActiveAt implements TimeIndex (traversal-based; the interval tree has
+// no O(log n) cardinality shortcut, one of the practical reasons the paper's
+// AVL design wins).
+func (t *IntervalTree) CountActiveAt(q int64) int {
+	c := 0
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil || n.maxEnd <= q {
+			return
+		}
+		walk(n.left)
+		if n.iv.Start <= q {
+			if n.iv.End > q {
+				c++
+			}
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return c
+}
+
+// CountSettledBy implements TimeIndex.
+func (t *IntervalTree) CountSettledBy(q int64) int {
+	c := 0
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil || n.minEnd > q {
+			return
+		}
+		walk(n.left)
+		if n.iv.End <= q {
+			c++
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return c
+}
+
+// CreatedIn implements TimeIndex: BST key range lo < Start <= hi.
+func (t *IntervalTree) CreatedIn(lo, hi int64) []int {
+	var ids []int
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil {
+			return
+		}
+		if n.iv.Start > lo {
+			walk(n.left)
+			if n.iv.Start <= hi {
+				ids = append(ids, n.iv.ID)
+			}
+		}
+		if n.iv.Start <= hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return ids
+}
+
+// SettledIn implements TimeIndex: ends in (lo, hi], pruned by the min/max
+// end augmentation.
+func (t *IntervalTree) SettledIn(lo, hi int64) []int {
+	var ids []int
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil || n.minEnd > hi || n.maxEnd <= lo {
+			return
+		}
+		walk(n.left)
+		if n.iv.End > lo && n.iv.End <= hi {
+			ids = append(ids, n.iv.ID)
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return ids
+}
+
+// MemoryBytes implements TimeIndex: one node per interval carrying the
+// interval (24 B), two children, height, count, and two augmentation fields.
+func (t *IntervalTree) MemoryBytes() int {
+	const nodeBytes = 24 + 2*8 + 4 + 4 + 2*8
+	return t.Len() * nodeBytes
+}
+
+func itSize(n *itNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func itHeight(n *itNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *itNode) update() {
+	hl, hr := itHeight(n.left), itHeight(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	n.count = itSize(n.left) + itSize(n.right) + 1
+	n.maxEnd = n.iv.End
+	n.minEnd = n.iv.End
+	if n.left != nil {
+		if n.left.maxEnd > n.maxEnd {
+			n.maxEnd = n.left.maxEnd
+		}
+		if n.left.minEnd < n.minEnd {
+			n.minEnd = n.left.minEnd
+		}
+	}
+	if n.right != nil {
+		if n.right.maxEnd > n.maxEnd {
+			n.maxEnd = n.right.maxEnd
+		}
+		if n.right.minEnd < n.minEnd {
+			n.minEnd = n.right.minEnd
+		}
+	}
+}
+
+func itRotateRight(y *itNode) *itNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func itRotateLeft(x *itNode) *itNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func itRebalance(n *itNode) *itNode {
+	n.update()
+	bf := itHeight(n.left) - itHeight(n.right)
+	switch {
+	case bf > 1:
+		if itHeight(n.left.left) < itHeight(n.left.right) {
+			n.left = itRotateLeft(n.left)
+		}
+		return itRotateRight(n)
+	case bf < -1:
+		if itHeight(n.right.right) < itHeight(n.right.left) {
+			n.right = itRotateRight(n.right)
+		}
+		return itRotateLeft(n)
+	}
+	return n
+}
+
+// ivLess orders intervals by (Start, ID, End) so duplicates are permitted
+// and deletion finds exact matches.
+func ivLess(a, b Interval) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.End < b.End
+}
+
+func itInsert(n *itNode, iv Interval) *itNode {
+	if n == nil {
+		return &itNode{iv: iv, height: 1, count: 1, maxEnd: iv.End, minEnd: iv.End}
+	}
+	if ivLess(iv, n.iv) {
+		n.left = itInsert(n.left, iv)
+	} else {
+		n.right = itInsert(n.right, iv)
+	}
+	return itRebalance(n)
+}
+
+func itDelete(n *itNode, iv Interval) (*itNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case ivLess(iv, n.iv):
+		n.left, removed = itDelete(n.left, iv)
+	case ivLess(n.iv, iv):
+		n.right, removed = itDelete(n.right, iv)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.iv = succ.iv
+		n.right, _ = itDelete(n.right, succ.iv)
+	}
+	if !removed {
+		return n, false
+	}
+	return itRebalance(n), true
+}
+
+// checkInvariants verifies BST order, AVL balance and augmentation caches.
+func (t *IntervalTree) checkInvariants() error {
+	_, err := itCheck(t.root)
+	return err
+}
+
+type itStats struct {
+	h, sz          int32
+	maxEnd, minEnd int64
+}
+
+func itCheck(n *itNode) (itStats, error) {
+	if n == nil {
+		return itStats{minEnd: 1<<63 - 1, maxEnd: -(1 << 62)}, nil
+	}
+	l, err := itCheck(n.left)
+	if err != nil {
+		return itStats{}, err
+	}
+	r, err := itCheck(n.right)
+	if err != nil {
+		return itStats{}, err
+	}
+	if n.left != nil && ivLess(n.iv, n.left.iv) {
+		return itStats{}, errOrder
+	}
+	if n.right != nil && ivLess(n.right.iv, n.iv) {
+		return itStats{}, errOrder
+	}
+	if bf := l.h - r.h; bf < -1 || bf > 1 {
+		return itStats{}, errBalance
+	}
+	s := itStats{sz: l.sz + r.sz + 1, maxEnd: n.iv.End, minEnd: n.iv.End}
+	s.h = l.h + 1
+	if r.h >= l.h {
+		s.h = r.h + 1
+	}
+	if l.maxEnd > s.maxEnd {
+		s.maxEnd = l.maxEnd
+	}
+	if r.maxEnd > s.maxEnd {
+		s.maxEnd = r.maxEnd
+	}
+	if l.minEnd < s.minEnd {
+		s.minEnd = l.minEnd
+	}
+	if r.minEnd < s.minEnd {
+		s.minEnd = r.minEnd
+	}
+	if n.height != s.h || n.count != s.sz || n.maxEnd != s.maxEnd || n.minEnd != s.minEnd {
+		return itStats{}, errInvariant("interval tree augmentation cache wrong")
+	}
+	return s, nil
+}

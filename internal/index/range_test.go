@@ -1,0 +1,98 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func (b brute) createdIn(lo, hi int64) []int {
+	var ids []int
+	for _, iv := range b {
+		if iv.Start > lo && iv.Start <= hi {
+			ids = append(ids, iv.ID)
+		}
+	}
+	return sortedIDs(ids)
+}
+
+func (b brute) settledIn(lo, hi int64) []int {
+	var ids []int
+	for _, iv := range b {
+		if iv.End > lo && iv.End <= hi {
+			ids = append(ids, iv.ID)
+		}
+	}
+	return sortedIDs(ids)
+}
+
+func TestRangeQueriesSmallFixture(t *testing.T) {
+	for _, kind := range Kinds() {
+		idx, err := Build(kind, smallFixture())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Starts: 0,5,10,0,25. Created in (0, 10]: ids 2 (s=5), 3 (s=10).
+		if got := sortedIDs(idx.CreatedIn(0, 10)); !eq(got, []int{2, 3}) {
+			t.Errorf("%s: CreatedIn(0,10] = %v, want [2 3]", kind, got)
+		}
+		// Ends: 10,15,20,30,26. Settled in (10, 26]: ids 2 (15), 3 (20), 5 (26).
+		if got := sortedIDs(idx.SettledIn(10, 26)); !eq(got, []int{2, 3, 5}) {
+			t.Errorf("%s: SettledIn(10,26] = %v, want [2 3 5]", kind, got)
+		}
+		// Empty window.
+		if got := idx.CreatedIn(50, 60); len(got) != 0 {
+			t.Errorf("%s: CreatedIn(50,60] = %v, want empty", kind, got)
+		}
+		// Boundary exclusivity: lo itself excluded.
+		if got := sortedIDs(idx.CreatedIn(5, 5)); len(got) != 0 {
+			t.Errorf("%s: CreatedIn(5,5] = %v, want empty", kind, got)
+		}
+	}
+}
+
+func TestRangeQueriesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		ivs := randomIntervals(rng, 200)
+		oracle := brute(ivs)
+		for _, kind := range Kinds() {
+			idx, err := Build(kind, ivs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 30; q++ {
+				lo := int64(rng.Intn(260)) - 5
+				hi := lo + int64(rng.Intn(60))
+				if got := sortedIDs(idx.CreatedIn(lo, hi)); !eq(got, oracle.createdIn(lo, hi)) {
+					t.Fatalf("%s: CreatedIn(%d,%d] = %v, want %v", kind, lo, hi, got, oracle.createdIn(lo, hi))
+				}
+				if got := sortedIDs(idx.SettledIn(lo, hi)); !eq(got, oracle.settledIn(lo, hi)) {
+					t.Fatalf("%s: SettledIn(%d,%d] = %v, want %v", kind, lo, hi, got, oracle.settledIn(lo, hi))
+				}
+			}
+		}
+	}
+}
+
+// TestRangeWindowsTileCreatedBy: consecutive windows over the timeline must
+// partition CreatedBy — the invariant incremental computation relies on.
+func TestRangeWindowsTileCreatedBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	ivs := randomIntervals(rng, 300)
+	for _, kind := range Kinds() {
+		idx, err := Build(kind, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accum []int
+		prev := int64(-1000)
+		for _, cur := range []int64{0, 40, 80, 120, 200, 300} {
+			accum = append(accum, idx.CreatedIn(prev, cur)...)
+			want := sortedIDs(idx.CreatedBy(cur))
+			if got := sortedIDs(accum); !eq(got, want) {
+				t.Fatalf("%s: windows up to %d give %d ids, CreatedBy gives %d", kind, cur, len(got), len(want))
+			}
+			prev = cur
+		}
+	}
+}

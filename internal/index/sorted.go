@@ -1,0 +1,190 @@
+package index
+
+import "slices"
+
+// SortedIndex is an ablation design beyond the paper's three: two flat
+// sorted arrays (by start and by end) queried with binary search. It has
+// the best constant factors and the smallest footprint of all designs, at
+// the cost of O(n) mutation — the classic static-vs-dynamic trade. The
+// DoMD workload builds each avail's index once and queries it many times,
+// so this design quantifies how much of the AVL's tree machinery the
+// workload actually needs (see BenchmarkAblationSortedVsAVL).
+type SortedIndex struct {
+	// byStart and byEnd are sorted by their respective key.
+	byStart []avlEntry // key = Start, aux = End
+	byEnd   []avlEntry // key = End, aux = Start
+	sorted  bool
+}
+
+// NewSorted returns an empty sorted-array index.
+func NewSorted() *SortedIndex { return &SortedIndex{sorted: true} }
+
+// KindSorted names the design for benchmarks; it is intentionally not part
+// of Kinds() (the paper evaluates three designs).
+const KindSorted Kind = "sorted"
+
+// BulkLoad implements BulkLoader.
+func (x *SortedIndex) BulkLoad(ivs []Interval) error {
+	x.byStart = make([]avlEntry, len(ivs))
+	x.byEnd = make([]avlEntry, len(ivs))
+	for i, iv := range ivs {
+		if err := iv.Validate(); err != nil {
+			return err
+		}
+		x.byStart[i] = avlEntry{key: iv.Start, aux: iv.End, id: iv.ID}
+		x.byEnd[i] = avlEntry{key: iv.End, aux: iv.Start, id: iv.ID}
+	}
+	x.sort()
+	return nil
+}
+
+func entryCmp(a, b avlEntry) int {
+	switch {
+	case a.less(b):
+		return -1
+	case b.less(a):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (x *SortedIndex) sort() {
+	slices.SortFunc(x.byStart, entryCmp)
+	slices.SortFunc(x.byEnd, entryCmp)
+	x.sorted = true
+}
+
+func (x *SortedIndex) ensure() {
+	if !x.sorted {
+		x.sort()
+	}
+}
+
+// Insert implements TimeIndex (append + lazy re-sort, amortized O(log n)
+// per query after a batch of appends).
+func (x *SortedIndex) Insert(iv Interval) error {
+	if err := iv.Validate(); err != nil {
+		return err
+	}
+	x.byStart = append(x.byStart, avlEntry{key: iv.Start, aux: iv.End, id: iv.ID})
+	x.byEnd = append(x.byEnd, avlEntry{key: iv.End, aux: iv.Start, id: iv.ID})
+	x.sorted = false
+	return nil
+}
+
+// Delete implements TimeIndex (linear).
+func (x *SortedIndex) Delete(iv Interval) bool {
+	found := false
+	for i := range x.byStart {
+		e := x.byStart[i]
+		if e.key == iv.Start && e.aux == iv.End && e.id == iv.ID {
+			x.byStart = append(x.byStart[:i], x.byStart[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	for i := range x.byEnd {
+		e := x.byEnd[i]
+		if e.key == iv.End && e.aux == iv.Start && e.id == iv.ID {
+			x.byEnd = append(x.byEnd[:i], x.byEnd[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len implements TimeIndex.
+func (x *SortedIndex) Len() int { return len(x.byStart) }
+
+// upperLE returns the count of entries with key <= t (binary search).
+func upperLE(entries []avlEntry, t int64) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].key <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ActiveAt implements TimeIndex.
+func (x *SortedIndex) ActiveAt(t int64) []int {
+	x.ensure()
+	var ids []int
+	for _, e := range x.byStart[:upperLE(x.byStart, t)] {
+		if e.aux > t {
+			ids = append(ids, e.id)
+		}
+	}
+	return ids
+}
+
+// SettledBy implements TimeIndex.
+func (x *SortedIndex) SettledBy(t int64) []int {
+	x.ensure()
+	n := upperLE(x.byEnd, t)
+	ids := make([]int, n)
+	for i, e := range x.byEnd[:n] {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// CreatedBy implements TimeIndex.
+func (x *SortedIndex) CreatedBy(t int64) []int {
+	x.ensure()
+	n := upperLE(x.byStart, t)
+	ids := make([]int, n)
+	for i, e := range x.byStart[:n] {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// CountActiveAt implements TimeIndex in O(log n).
+func (x *SortedIndex) CountActiveAt(t int64) int {
+	x.ensure()
+	return upperLE(x.byStart, t) - upperLE(x.byEnd, t)
+}
+
+// CountSettledBy implements TimeIndex in O(log n).
+func (x *SortedIndex) CountSettledBy(t int64) int {
+	x.ensure()
+	return upperLE(x.byEnd, t)
+}
+
+// CreatedIn implements TimeIndex.
+func (x *SortedIndex) CreatedIn(lo, hi int64) []int {
+	x.ensure()
+	a, b := upperLE(x.byStart, lo), upperLE(x.byStart, hi)
+	ids := make([]int, b-a)
+	for i, e := range x.byStart[a:b] {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// SettledIn implements TimeIndex.
+func (x *SortedIndex) SettledIn(lo, hi int64) []int {
+	x.ensure()
+	a, b := upperLE(x.byEnd, lo), upperLE(x.byEnd, hi)
+	ids := make([]int, b-a)
+	for i, e := range x.byEnd[a:b] {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// MemoryBytes implements TimeIndex: two flat entry arrays, no per-node
+// overhead.
+func (x *SortedIndex) MemoryBytes() int {
+	const entryBytes = 24
+	return (cap(x.byStart) + cap(x.byEnd)) * entryBytes
+}

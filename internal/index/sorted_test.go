@@ -1,0 +1,95 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allKinds includes the ablation design on top of the paper's three.
+func allKinds() []Kind { return append(Kinds(), KindSorted) }
+
+func TestSortedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		ivs := randomIntervals(rng, 200)
+		idx, err := Build(KindSorted, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := brute(ivs)
+		for q := int64(-5); q <= 260; q += 9 {
+			if got := sortedIDs(idx.ActiveAt(q)); !eq(got, oracle.activeAt(q)) {
+				t.Fatalf("ActiveAt(%d) mismatch", q)
+			}
+			if got := sortedIDs(idx.SettledBy(q)); !eq(got, oracle.settledBy(q)) {
+				t.Fatalf("SettledBy(%d) mismatch", q)
+			}
+			if got := sortedIDs(idx.CreatedBy(q)); !eq(got, oracle.createdBy(q)) {
+				t.Fatalf("CreatedBy(%d) mismatch", q)
+			}
+			if idx.CountActiveAt(q) != len(oracle.activeAt(q)) {
+				t.Fatalf("CountActiveAt(%d) mismatch", q)
+			}
+			if idx.CountSettledBy(q) != len(oracle.settledBy(q)) {
+				t.Fatalf("CountSettledBy(%d) mismatch", q)
+			}
+			lo, hi := q-15, q
+			if got := sortedIDs(idx.CreatedIn(lo, hi)); !eq(got, oracle.createdIn(lo, hi)) {
+				t.Fatalf("CreatedIn(%d,%d] mismatch", lo, hi)
+			}
+			if got := sortedIDs(idx.SettledIn(lo, hi)); !eq(got, oracle.settledIn(lo, hi)) {
+				t.Fatalf("SettledIn(%d,%d] mismatch", lo, hi)
+			}
+		}
+	}
+}
+
+func TestSortedInsertDeleteLazyResort(t *testing.T) {
+	idx := NewSorted()
+	for _, iv := range smallFixture() {
+		if err := idx.Insert(iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sortedIDs(idx.ActiveAt(10)); !eq(got, []int{2, 3, 4}) {
+		t.Fatalf("ActiveAt(10) = %v", got)
+	}
+	// Mutate after queries: delete then re-query.
+	if !idx.Delete(Interval{Start: 10, End: 20, ID: 3}) {
+		t.Fatal("delete failed")
+	}
+	if idx.Delete(Interval{Start: 10, End: 20, ID: 3}) {
+		t.Fatal("double delete succeeded")
+	}
+	if got := sortedIDs(idx.ActiveAt(10)); !eq(got, []int{2, 4}) {
+		t.Fatalf("ActiveAt(10) after delete = %v", got)
+	}
+	if err := idx.Insert(Interval{Start: 8, End: 12, ID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedIDs(idx.ActiveAt(10)); !eq(got, []int{2, 4, 99}) {
+		t.Fatalf("ActiveAt(10) after insert = %v", got)
+	}
+	if err := idx.Insert(Interval{Start: 9, End: 5, ID: 1}); err == nil {
+		t.Fatal("invalid interval accepted")
+	}
+}
+
+func TestSortedMemorySmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	ivs := randomIntervals(rng, 2000)
+	var sizes []int
+	for _, kind := range allKinds() {
+		idx, err := Build(kind, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, idx.MemoryBytes())
+	}
+	sorted := sizes[len(sizes)-1]
+	for i, kind := range Kinds() {
+		if sorted > sizes[i] {
+			t.Errorf("sorted index (%d B) should not exceed %s (%d B)", sorted, kind, sizes[i])
+		}
+	}
+}

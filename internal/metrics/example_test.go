@@ -1,0 +1,24 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"domd/internal/metrics"
+)
+
+// The paper's MAE-80th trims to the best-predicted 80% of avails before
+// averaging — the Navy SME milestone is MAE-80th ≤ 30 days.
+func ExampleMAEPercentile() {
+	truth := []float64{10, 20, 30, 40, 400}
+	preds := []float64{12, 18, 33, 45, 100} // one badly-missed disaster
+	full, err := metrics.MAE(truth, preds)
+	if err != nil {
+		panic(err)
+	}
+	trimmed, err := metrics.MAEPercentile(truth, preds, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MAE %.1f, MAE-80th %.1f\n", full, trimmed)
+	// Output: MAE 62.4, MAE-80th 3.0
+}

@@ -1,0 +1,142 @@
+// Package metrics implements the regression quality measures of paper §5.2
+// (evaluation measures): MAE including the percentile-trimmed MAE-80/90/100
+// variants of Table 7, MSE, RMSE, and the coefficient of determination R².
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"domd/internal/stats"
+)
+
+// Report bundles every measure Table 7 reports for one logical timestamp.
+type Report struct {
+	MAE80 float64 // mean |err| over the 80% of avails with smallest |err|
+	MAE90 float64
+	MAE   float64 // all avails ("MAE 100th")
+	MSE   float64
+	RMSE  float64
+	R2    float64
+}
+
+// Evaluate computes the full Report for predictions yhat against truth y.
+func Evaluate(y, yhat []float64) (Report, error) {
+	if err := check(y, yhat); err != nil {
+		return Report{}, err
+	}
+	mae80, err := MAEPercentile(y, yhat, 0.8)
+	if err != nil {
+		return Report{}, err
+	}
+	mae90, err := MAEPercentile(y, yhat, 0.9)
+	if err != nil {
+		return Report{}, err
+	}
+	mae, _ := MAE(y, yhat)
+	mse, _ := MSE(y, yhat)
+	r2, _ := R2(y, yhat)
+	return Report{
+		MAE80: mae80,
+		MAE90: mae90,
+		MAE:   mae,
+		MSE:   mse,
+		RMSE:  math.Sqrt(mse),
+		R2:    r2,
+	}, nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(y, yhat []float64) (float64, error) {
+	if err := check(y, yhat); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range y {
+		s += math.Abs(y[i] - yhat[i])
+	}
+	return s / float64(len(y)), nil
+}
+
+// MAEPercentile returns the MAE over the frac-portion of instances with the
+// smallest absolute errors, the paper's "MAE 80th/90th" measure: MAE for the
+// best-predicted 80%/90% of avails. frac must lie in (0, 1].
+func MAEPercentile(y, yhat []float64, frac float64) (float64, error) {
+	if err := check(y, yhat); err != nil {
+		return 0, err
+	}
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("metrics: percentile fraction %f outside (0,1]", frac)
+	}
+	errs := make([]float64, len(y))
+	for i := range y {
+		errs[i] = math.Abs(y[i] - yhat[i])
+	}
+	sort.Float64s(errs)
+	k := int(math.Ceil(frac * float64(len(errs))))
+	if k < 1 {
+		k = 1
+	}
+	s := 0.0
+	for _, e := range errs[:k] {
+		s += e
+	}
+	return s / float64(k), nil
+}
+
+// MSE returns the mean squared error.
+func MSE(y, yhat []float64) (float64, error) {
+	if err := check(y, yhat); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range y {
+		d := y[i] - yhat[i]
+		s += d * d
+	}
+	return s / float64(len(y)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(y, yhat []float64) (float64, error) {
+	mse, err := MSE(y, yhat)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(mse), nil
+}
+
+// R2 returns the coefficient of determination 1 - SS_res/SS_tot. When the
+// truth is constant, R2 is 1 for exact predictions and 0 otherwise (the
+// conventional degenerate handling).
+func R2(y, yhat []float64) (float64, error) {
+	if err := check(y, yhat); err != nil {
+		return 0, err
+	}
+	mean := stats.Mean(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		dr := y[i] - yhat[i]
+		dt := y[i] - mean
+		ssRes += dr * dr
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+func check(y, yhat []float64) error {
+	if len(y) == 0 {
+		return fmt.Errorf("metrics: empty input")
+	}
+	if len(y) != len(yhat) {
+		return fmt.Errorf("metrics: length mismatch %d vs %d", len(y), len(yhat))
+	}
+	return nil
+}

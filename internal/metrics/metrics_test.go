@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMAE(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	yhat := []float64{2, 2, 1, 8}
+	got, err := MAE(y, yhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, (1+0+2+4)/4.0, 1e-12) {
+		t.Errorf("MAE = %f, want 1.75", got)
+	}
+}
+
+func TestMAEPercentile(t *testing.T) {
+	y := []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	yhat := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100} // one gross outlier
+	full, _ := MAE(y, yhat)
+	p90, err := MAEPercentile(y, yhat, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p90, 1, 1e-12) {
+		t.Errorf("MAE90 = %f, want 1 (outlier trimmed)", p90)
+	}
+	if p90 >= full {
+		t.Errorf("MAE90 %f should be below full MAE %f", p90, full)
+	}
+	p100, _ := MAEPercentile(y, yhat, 1.0)
+	if !almost(p100, full, 1e-12) {
+		t.Errorf("MAE100 %f != MAE %f", p100, full)
+	}
+}
+
+func TestMAEPercentileErrors(t *testing.T) {
+	y := []float64{1, 2}
+	if _, err := MAEPercentile(y, y, 0); err == nil {
+		t.Error("frac=0: want error")
+	}
+	if _, err := MAEPercentile(y, y, 1.5); err == nil {
+		t.Error("frac>1: want error")
+	}
+}
+
+func TestMSERMSE(t *testing.T) {
+	y := []float64{0, 0}
+	yhat := []float64{3, 4}
+	mse, _ := MSE(y, yhat)
+	if !almost(mse, 12.5, 1e-12) {
+		t.Errorf("MSE = %f, want 12.5", mse)
+	}
+	rmse, _ := RMSE(y, yhat)
+	if !almost(rmse, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %f, want %f", rmse, math.Sqrt(12.5))
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5}
+	perfect, _ := R2(y, y)
+	if perfect != 1 {
+		t.Errorf("R2(perfect) = %f, want 1", perfect)
+	}
+	// Predicting the mean gives R2 = 0.
+	mean := []float64{3, 3, 3, 3, 3}
+	zero, _ := R2(y, mean)
+	if !almost(zero, 0, 1e-12) {
+		t.Errorf("R2(mean predictor) = %f, want 0", zero)
+	}
+	// Worse than the mean is negative.
+	bad := []float64{5, 4, 3, 2, 1}
+	neg, _ := R2(y, bad)
+	if neg >= 0 {
+		t.Errorf("R2(reversed) = %f, want < 0", neg)
+	}
+}
+
+func TestR2ConstantTruth(t *testing.T) {
+	y := []float64{2, 2, 2}
+	if r, _ := R2(y, y); r != 1 {
+		t.Errorf("R2(const, exact) = %f, want 1", r)
+	}
+	if r, _ := R2(y, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("R2(const, wrong) = %f, want 0", r)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	funcs := map[string]func([]float64, []float64) (float64, error){
+		"MAE": MAE, "MSE": MSE, "RMSE": RMSE, "R2": R2,
+	}
+	for name, fn := range funcs {
+		if _, err := fn(nil, nil); err == nil {
+			t.Errorf("%s(empty): want error", name)
+		}
+		if _, err := fn([]float64{1}, []float64{1, 2}); err == nil {
+			t.Errorf("%s(mismatch): want error", name)
+		}
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("Evaluate(empty): want error")
+	}
+}
+
+func TestEvaluateConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	y := make([]float64, n)
+	yhat := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 50
+		yhat[i] = y[i] + rng.NormFloat64()*10
+	}
+	rep, err := Evaluate(y, yhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.MAE80 <= rep.MAE90 && rep.MAE90 <= rep.MAE) {
+		t.Errorf("percentile MAEs must be monotone: %f %f %f", rep.MAE80, rep.MAE90, rep.MAE)
+	}
+	if !almost(rep.RMSE, math.Sqrt(rep.MSE), 1e-12) {
+		t.Errorf("RMSE %f != sqrt(MSE %f)", rep.RMSE, rep.MSE)
+	}
+	if rep.RMSE < rep.MAE {
+		t.Errorf("RMSE %f < MAE %f violates Jensen", rep.RMSE, rep.MAE)
+	}
+	if rep.R2 < 0.9 {
+		t.Errorf("R2 = %f; noise is small relative to signal, expect > 0.9", rep.R2)
+	}
+}
+
+// TestQuickMetricIdentities checks structural identities on random data:
+// MAE >= 0, MSE >= MAE^2 is not generally true, but RMSE >= MAE always, and
+// R2 <= 1 always.
+func TestQuickMetricIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		y := make([]float64, n)
+		yhat := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 100
+			yhat[i] = rng.NormFloat64() * 100
+		}
+		rep, err := Evaluate(y, yhat)
+		if err != nil {
+			return false
+		}
+		return rep.MAE >= 0 && rep.MSE >= 0 &&
+			rep.RMSE >= rep.MAE-1e-9 &&
+			rep.R2 <= 1+1e-9 &&
+			rep.MAE80 <= rep.MAE90+1e-9 && rep.MAE90 <= rep.MAE+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

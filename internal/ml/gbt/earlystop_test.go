@@ -1,0 +1,103 @@
+package gbt
+
+import (
+	"math/rand"
+	"testing"
+
+	"domd/internal/ml"
+	"domd/internal/ml/loss"
+)
+
+// noisySmall yields a tiny, noisy dataset where a long boosting run overfits.
+func noisySmall(rng *rand.Rand, n int) *ml.Dataset {
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		d.X[i] = []float64{x, rng.Float64(), rng.Float64()}
+		d.Y[i] = 10*x + rng.NormFloat64()*5
+	}
+	return d
+}
+
+func TestEarlyStoppingTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := noisySmall(rng, 60)
+	val := noisySmall(rng, 60)
+	p := DefaultParams()
+	p.NumRounds = 400
+	p.LearningRate = 0.3 // aggressive: overfits quickly
+	m, best, err := FitEarlyStopping(p, loss.Squared{}, train, val, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best >= 400 {
+		t.Errorf("best round = %d, expected early stop before 400", best)
+	}
+	if m.NumTrees() != best {
+		t.Errorf("model has %d trees, best round %d", m.NumTrees(), best)
+	}
+}
+
+func TestEarlyStoppingBeatsFullRunOnVal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := noisySmall(rng, 60)
+	val := noisySmall(rng, 120)
+	p := DefaultParams()
+	p.NumRounds = 400
+	p.LearningRate = 0.3
+	full, err := Fit(p, loss.Squared{}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, _, err := FitEarlyStopping(p, loss.Squared{}, train, val, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, es := mse(full, val), mse(stopped, val)
+	if es > ef+1e-9 {
+		t.Errorf("early-stopped val MSE %f should be <= full run %f", es, ef)
+	}
+}
+
+func TestEarlyStoppingErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := noisySmall(rng, 30)
+	if _, _, err := FitEarlyStopping(DefaultParams(), nil, d, d, 0); err == nil {
+		t.Error("patience 0: want error")
+	}
+	noY := &ml.Dataset{X: d.X}
+	if _, _, err := FitEarlyStopping(DefaultParams(), nil, d, noY, 5); err == nil {
+		t.Error("val without targets: want error")
+	}
+	if _, _, err := FitEarlyStopping(Params{}, nil, d, d, 5); err == nil {
+		t.Error("bad params: want error")
+	}
+}
+
+func TestEarlyStoppingPredictionMatchesTruncatedEnsemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := noisySmall(rng, 50)
+	val := noisySmall(rng, 50)
+	p := DefaultParams()
+	p.NumRounds = 100
+	m, best, err := FitEarlyStopping(p, loss.Squared{}, train, val, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refit with exactly best rounds: predictions must agree (deterministic
+	// training, identical prefix of trees).
+	p2 := p
+	if best == 0 {
+		t.Skip("degenerate: stopped at base score")
+	}
+	p2.NumRounds = best
+	ref, err := Fit(p2, loss.Squared{}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if m.Predict(val.X[i]) != ref.Predict(val.X[i]) {
+			t.Fatal("truncated ensemble must equal refit prefix")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package gbt_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"domd/internal/ml"
+	"domd/internal/ml/gbt"
+	"domd/internal/ml/loss"
+)
+
+// Train the paper's base model family on a non-linear signal the linear
+// family cannot express.
+func ExampleFit() {
+	rng := rand.New(rand.NewSource(1))
+	d := &ml.Dataset{}
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 100*math.Sin(6*x))
+	}
+	params := gbt.DefaultParams()
+	params.NumRounds = 150
+	ph, err := loss.NewPseudoHuber(18)
+	if err != nil {
+		panic(err)
+	}
+	m, err := gbt.Fit(params, ph, d)
+	if err != nil {
+		panic(err)
+	}
+	pred := m.Predict([]float64{0.25}) // truth: 100·sin(1.5) ≈ 99.7
+	fmt.Println(math.Abs(pred-100*math.Sin(1.5)) < 10)
+	// Output: true
+}

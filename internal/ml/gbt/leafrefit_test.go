@@ -1,0 +1,99 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"domd/internal/ml"
+	"domd/internal/ml/loss"
+)
+
+// TestRobustLossesFitLargeTargets pins the TreeBoost leaf re-estimation: a
+// clean step function with a 600-unit jump must be learnable under ℓ1 and
+// pseudo-Huber, whose raw Newton steps saturate at ±δ per round.
+func TestRobustLossesFitLargeTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		d.X[i] = []float64{x}
+		if x > 0.5 {
+			d.Y[i] = 600
+		}
+	}
+	ph, err := loss.NewPseudoHuber(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []loss.Loss{loss.Absolute{}, ph} {
+		p := DefaultParams()
+		p.NumRounds = 60
+		m, err := Fit(p, l, d)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+		lo := m.Predict([]float64{0.2})
+		hi := m.Predict([]float64{0.8})
+		if math.Abs(lo) > 30 || math.Abs(hi-600) > 30 {
+			t.Errorf("%s: predicts %.1f / %.1f, want ≈0 / ≈600", l.Name(), lo, hi)
+		}
+	}
+}
+
+// TestLeafRefitKeepsRobustness: gross target outliers must still not drag
+// the robust fit the way they drag ℓ2.
+func TestLeafRefitKeepsRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		d.X[i] = []float64{x}
+		d.Y[i] = 10 * x
+		if rng.Float64() < 0.05 {
+			d.Y[i] += 5000 // gross corruption
+		}
+	}
+	p := DefaultParams()
+	p.NumRounds = 80
+	p.MaxDepth = 3
+	ph, _ := loss.NewPseudoHuber(18)
+	robust, err := Fit(p, ph, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squared, err := Fit(p, loss.Squared{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate against the clean signal.
+	var errRobust, errSq float64
+	for x := 0.05; x < 1; x += 0.1 {
+		clean := 10 * x
+		errRobust += math.Abs(robust.Predict([]float64{x}) - clean)
+		errSq += math.Abs(squared.Predict([]float64{x}) - clean)
+	}
+	if errRobust >= errSq {
+		t.Errorf("robust clean-signal error %.1f should beat ℓ2's %.1f", errRobust, errSq)
+	}
+}
+
+// TestBaseScoreIsMedianForL1: with no informative features the model should
+// predict close to the median, not the mean, under ℓ1.
+func TestBaseScoreIsMedianForL1(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{1}, {1}, {1}, {1}, {1}},
+		Y: []float64{0, 0, 0, 0, 1000}, // mean 200, median 0
+	}
+	p := DefaultParams()
+	p.NumRounds = 5
+	m, err := Fit(p, loss.Absolute{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1}); math.Abs(got) > 50 {
+		t.Errorf("l1 prediction = %f, want near median 0", got)
+	}
+}

@@ -1,0 +1,81 @@
+package gbt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"domd/internal/ml/loss"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d := synthNonlinear(rng, 150)
+	p := DefaultParams()
+	p.NumRounds = 40
+	m, err := Fit(p, loss.Squared{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if m.Predict(d.X[i]) != back.Predict(d.X[i]) {
+			t.Fatal("prediction changed after JSON round trip")
+		}
+	}
+	if back.NumTrees() != m.NumTrees() {
+		t.Errorf("trees %d vs %d", back.NumTrees(), m.NumTrees())
+	}
+	impA, impB := m.Importances(), back.Importances()
+	for j := range impA {
+		if impA[j] != impB[j] {
+			t.Fatal("importances changed after round trip")
+		}
+	}
+}
+
+func TestModelUnmarshalRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{{{`,
+		"zero features":  `{"base":0,"eta":0.1,"num_features":0,"trees":[]}`,
+		"null tree":      `{"base":0,"eta":0.1,"num_features":1,"trees":[null]}`,
+		"missing child":  `{"base":0,"eta":0.1,"num_features":1,"trees":[{"Feature":0,"Threshold":1}]}`,
+		"feature range":  `{"base":0,"eta":0.1,"num_features":1,"trees":[{"Feature":5,"Threshold":1,"Left":{"Feature":-1},"Right":{"Feature":-1}}]}`,
+		"deep bad child": `{"base":0,"eta":0.1,"num_features":2,"trees":[{"Feature":0,"Threshold":1,"Left":{"Feature":1,"Threshold":2},"Right":{"Feature":-1}}]}`,
+	}
+	for name, raw := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(raw), &m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A healthy minimal model parses.
+	ok := `{"base":3,"eta":0.1,"num_features":1,"trees":[{"Feature":-1,"Weight":2}]}`
+	var m Model
+	if err := json.Unmarshal([]byte(ok), &m); err != nil {
+		t.Fatalf("minimal model rejected: %v", err)
+	}
+	if got := m.Predict([]float64{0}); got != 3.2 {
+		t.Errorf("Predict = %f, want 3.2", got)
+	}
+}
+
+func TestSubsampleEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := synthLinear(rng, 50)
+	// Tiny subsample fraction still trains (at least one row per tree).
+	p := DefaultParams()
+	p.NumRounds = 5
+	p.Subsample = 0.01
+	p.ColsampleByTree = 0.01
+	if _, err := Fit(p, loss.Squared{}, d); err != nil {
+		t.Fatal(err)
+	}
+}

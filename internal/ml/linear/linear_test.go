@@ -1,0 +1,193 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"domd/internal/ml"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOLSRecoversExactLine(t *testing.T) {
+	// y = 2 + 3x exactly.
+	d := &ml.Dataset{
+		X: [][]float64{{0}, {1}, {2}, {3}, {4}},
+		Y: []float64{2, 5, 8, 11, 14},
+	}
+	m, err := Fit(OLSParams(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Coef[0], 3, 1e-6) || !almost(m.Intercept, 2, 1e-6) {
+		t.Errorf("fit = %f + %f x, want 2 + 3x", m.Intercept, m.Coef[0])
+	}
+	if got := m.Predict([]float64{10}); !almost(got, 32, 1e-5) {
+		t.Errorf("Predict(10) = %f, want 32", got)
+	}
+}
+
+func TestOLSMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{a, b, c}
+		d.Y[i] = 1.5 + 4*a - 2.5*b + 0.5*c
+	}
+	m, err := Fit(OLSParams(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, -2.5, 0.5}
+	for j, w := range want {
+		if !almost(m.Coef[j], w, 1e-4) {
+			t.Errorf("coef[%d] = %f, want %f", j, m.Coef[j], w)
+		}
+	}
+	if !almost(m.Intercept, 1.5, 1e-4) {
+		t.Errorf("intercept = %f, want 1.5", m.Intercept)
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		d.X[i] = []float64{a}
+		d.Y[i] = 5 * a
+	}
+	ols, err := Fit(OLSParams(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := Fit(Params{Alpha: 10, L1Ratio: 0, MaxIter: 1000, Tol: 1e-9}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Coef[0]) >= math.Abs(ols.Coef[0]) {
+		t.Errorf("ridge coef %f should shrink below OLS %f", ridge.Coef[0], ols.Coef[0])
+	}
+	if ridge.Coef[0] <= 0 {
+		t.Errorf("ridge coef %f should keep sign", ridge.Coef[0])
+	}
+}
+
+func TestLassoZeroesIrrelevantFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		signal := rng.NormFloat64()
+		noise1, noise2 := rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{signal, noise1, noise2}
+		d.Y[i] = 10*signal + 0.05*rng.NormFloat64()
+	}
+	m, err := Fit(Params{Alpha: 1, L1Ratio: 1, MaxIter: 2000, Tol: 1e-9}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[1] != 0 || m.Coef[2] != 0 {
+		t.Errorf("lasso should zero noise coefs, got %v", m.Coef)
+	}
+	if m.Coef[0] < 5 {
+		t.Errorf("signal coef %f should survive", m.Coef[0])
+	}
+}
+
+func TestElasticNetHandlesWideData(t *testing.T) {
+	// p > n: OLS is degenerate but elastic net must stay stable.
+	rng := rand.New(rand.NewSource(4))
+	n, p := 30, 100
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		d.X[i] = row
+		d.Y[i] = 5*row[0] - 3*row[1] + rng.NormFloat64()*0.1
+	}
+	m, err := Fit(Params{Alpha: 0.5, L1Ratio: 0.5, MaxIter: 2000, Tol: 1e-9}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("coef[%d] = %f not finite", j, c)
+		}
+	}
+	// The two informative features should carry the largest magnitudes.
+	imp := m.Importances()
+	big := math.Max(imp[0], imp[1])
+	for j := 2; j < p; j++ {
+		if imp[j] > big {
+			t.Errorf("noise coef %d (%f) exceeds signal (%f)", j, imp[j], big)
+		}
+	}
+}
+
+func TestConstantColumnGetsZeroCoef(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{1, 7}, {2, 7}, {3, 7}},
+		Y: []float64{1, 2, 3},
+	}
+	m, err := Fit(OLSParams(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[1] != 0 {
+		t.Errorf("constant column coef = %f, want 0", m.Coef[1])
+	}
+	if !almost(m.Predict([]float64{2, 7}), 2, 1e-6) {
+		t.Errorf("prediction wrong with constant column")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{Alpha: -1, L1Ratio: 0.5, MaxIter: 10, Tol: 1e-6},
+		{Alpha: 1, L1Ratio: -0.1, MaxIter: 10, Tol: 1e-6},
+		{Alpha: 1, L1Ratio: 1.1, MaxIter: 10, Tol: 1e-6},
+		{Alpha: 1, L1Ratio: 0.5, MaxIter: 0, Tol: 1e-6},
+		{Alpha: 1, L1Ratio: 0.5, MaxIter: 10, Tol: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(DefaultParams(), &ml.Dataset{}); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	noY := &ml.Dataset{X: [][]float64{{1}}}
+	if _, err := Fit(DefaultParams(), noY); err == nil {
+		t.Error("missing targets: want error")
+	}
+	ragged := &ml.Dataset{X: [][]float64{{1, 2}, {3}}, Y: []float64{1, 2}}
+	if _, err := Fit(DefaultParams(), ragged); err == nil {
+		t.Error("ragged: want error")
+	}
+}
+
+func TestTrainerInterface(t *testing.T) {
+	var tr ml.Trainer = NewTrainer(OLSParams())
+	if tr.Name() != "elasticnet" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	d := &ml.Dataset{X: [][]float64{{0}, {1}, {2}}, Y: []float64{0, 1, 2}}
+	m, err := tr.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Predict([]float64{3}), 3, 1e-5) {
+		t.Error("trainer-fitted model mispredicts")
+	}
+}

@@ -1,0 +1,92 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsoluteOptimalLeafIsNegMedian(t *testing.T) {
+	cases := []struct {
+		res  []float64
+		want float64
+	}{
+		{[]float64{5}, -5},
+		{[]float64{1, 3}, -2},
+		{[]float64{-10, 0, 10}, 0},
+		{[]float64{100, 1, 2}, -2},
+	}
+	ab := Absolute{}
+	for _, c := range cases {
+		if got := ab.OptimalLeaf(c.res); got != c.want {
+			t.Errorf("OptimalLeaf(%v) = %f, want %f", c.res, got, c.want)
+		}
+	}
+}
+
+// TestQuickOptimalLeafMinimizes checks that OptimalLeaf's answer is at least
+// as good as nearby perturbations for every loss implementing it.
+func TestQuickOptimalLeafMinimizes(t *testing.T) {
+	ph, err := NewPseudoHuber(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHuber(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []interface {
+		Loss
+		LeafOptimizer
+	}{Absolute{}, ph, hb}
+
+	total := func(l Loss, res []float64, w float64) float64 {
+		s := 0.0
+		for _, r := range res {
+			s += l.Value(r + w)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		res := make([]float64, n)
+		for i := range res {
+			res[i] = rng.NormFloat64() * 200
+		}
+		for _, l := range opts {
+			w := l.OptimalLeaf(res)
+			base := total(l, res, w)
+			for _, d := range []float64{-25, -5, -1, 1, 5, 25} {
+				if total(l, res, w+d) < base-1e-6*math.Abs(base)-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalLeafReachesLargeTargets(t *testing.T) {
+	// A leaf full of residuals near -600 (prediction far below truth) must
+	// produce a weight near +600 — the behaviour the plain Newton step
+	// cannot achieve for saturating losses.
+	res := []float64{-580, -600, -620}
+	ph, _ := NewPseudoHuber(18)
+	if w := ph.OptimalLeaf(res); math.Abs(w-600) > 25 {
+		t.Errorf("pseudo-huber leaf = %f, want ≈600", w)
+	}
+	if w := (Absolute{}).OptimalLeaf(res); w != 600 {
+		t.Errorf("l1 leaf = %f, want 600", w)
+	}
+}
+
+func TestOptimalLeafEmpty(t *testing.T) {
+	if w := (Absolute{}).OptimalLeaf(nil); w != 0 {
+		t.Errorf("empty leaf = %f, want 0", w)
+	}
+}

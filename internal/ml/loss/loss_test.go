@@ -1,0 +1,181 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func all(t *testing.T) []Loss {
+	t.Helper()
+	h, err := NewHuber(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := NewPseudoHuber(PaperDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Loss{Squared{}, Absolute{}, h, ph}
+}
+
+func TestValueAtZero(t *testing.T) {
+	for _, l := range all(t) {
+		if v := l.Value(0); v != 0 {
+			t.Errorf("%s: Value(0) = %f, want 0", l.Name(), v)
+		}
+		if g := l.Grad(0); g != 0 {
+			t.Errorf("%s: Grad(0) = %f, want 0", l.Name(), g)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	if v := (Squared{}).Value(4); v != 8 {
+		t.Errorf("l2(4) = %f, want 8", v)
+	}
+	if v := (Absolute{}).Value(-3); v != 3 {
+		t.Errorf("l1(-3) = %f, want 3", v)
+	}
+	h, _ := NewHuber(2)
+	if v := h.Value(1); v != 0.5 {
+		t.Errorf("huber(1) inside = %f, want 0.5", v)
+	}
+	// Outside: δ(|r| - δ/2) = 2*(5-1) = 8.
+	if v := h.Value(5); v != 8 {
+		t.Errorf("huber(5) outside = %f, want 8", v)
+	}
+	ph, _ := NewPseudoHuber(1)
+	// δ=1: value(r) = sqrt(1+r²)-1; at r=0 it's 0, at large r ~ |r|-1.
+	if v := ph.Value(0); v != 0 {
+		t.Errorf("pseudohuber(0) = %f, want 0", v)
+	}
+	if v := ph.Value(1000); !almost(v, 999, 0.01) {
+		t.Errorf("pseudohuber(1000) = %f, want ~999", v)
+	}
+}
+
+func TestGradMatchesNumericalDerivative(t *testing.T) {
+	// Skip the kink of ℓ1/Huber by testing at smooth points.
+	points := []float64{-37.2, -5, -1.3, -0.4, 0.7, 1.9, 6.5, 42}
+	const eps = 1e-6
+	for _, l := range all(t) {
+		for _, r := range points {
+			want := (l.Value(r+eps) - l.Value(r-eps)) / (2 * eps)
+			if got := l.Grad(r); !almost(got, want, 1e-4) {
+				t.Errorf("%s: Grad(%f) = %f, numerical %f", l.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestPseudoHuberHessMatchesNumerical(t *testing.T) {
+	ph, _ := NewPseudoHuber(18)
+	const eps = 1e-4
+	for _, r := range []float64{-50, -18, -1, 0, 1, 18, 50, 200} {
+		want := (ph.Grad(r+eps) - ph.Grad(r-eps)) / (2 * eps)
+		if got := ph.Hess(r); !almost(got, want, 1e-5) {
+			t.Errorf("Hess(%f) = %f, numerical %f", r, got, want)
+		}
+	}
+}
+
+func TestHessPositive(t *testing.T) {
+	for _, l := range all(t) {
+		for _, r := range []float64{-1000, -1, 0, 1, 1000} {
+			if h := l.Hess(r); h <= 0 {
+				t.Errorf("%s: Hess(%f) = %f, want > 0", l.Name(), r, h)
+			}
+		}
+	}
+}
+
+// TestQuickLossProperties: losses are non-negative, even in r, and
+// monotone in |r|.
+func TestQuickLossProperties(t *testing.T) {
+	losses := all(t)
+	f := func(rRaw int16) bool {
+		r := float64(rRaw) / 100
+		for _, l := range losses {
+			if l.Value(r) < 0 {
+				return false
+			}
+			if !almost(l.Value(r), l.Value(-r), 1e-9) {
+				return false
+			}
+			if l.Value(r*2) < l.Value(r)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutlierSensitivityOrdering pins the paper's §3.2.3 claim: for large
+// residuals ℓ2 penalizes hardest, pseudo-Huber/Huber grow linearly like ℓ1.
+func TestOutlierSensitivityOrdering(t *testing.T) {
+	ph, _ := NewPseudoHuber(18)
+	h, _ := NewHuber(18)
+	r := 500.0
+	sq := Squared{}
+	ab := Absolute{}
+	l2 := sq.Value(r)
+	l1 := ab.Value(r)
+	if l2 <= ph.Value(r) || l2 <= h.Value(r) || l2 <= l1 {
+		t.Errorf("ℓ2 (%f) must dominate robust losses at r=%f", l2, r)
+	}
+	// Pseudo-Huber grad saturates near δ for large residuals.
+	if g := ph.Grad(1e6); !almost(g, 18, 0.01) {
+		t.Errorf("pseudo-huber grad saturates at δ: got %f", g)
+	}
+	if g := sq.Grad(1e6); g != 1e6 {
+		t.Errorf("ℓ2 grad unbounded: got %f", g)
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewHuber(0); err == nil {
+		t.Error("NewHuber(0): want error")
+	}
+	if _, err := NewHuber(-1); err == nil {
+		t.Error("NewHuber(-1): want error")
+	}
+	if _, err := NewPseudoHuber(0); err == nil {
+		t.Error("NewPseudoHuber(0): want error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"l2", "l2"},
+		{"squared", "l2"},
+		{"l1", "l1"},
+		{"absolute", "l1"},
+		{"huber", "huber(18)"},
+		{"pseudohuber", "pseudohuber(18)"},
+		{"pseudo-huber", "pseudohuber(18)"},
+	}
+	for _, c := range cases {
+		l, err := Parse(c.name, 0)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.name, err)
+		}
+		if l.Name() != c.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.name, l.Name(), c.want)
+		}
+	}
+	if l, err := Parse("huber", 5); err != nil || l.Name() != "huber(5)" {
+		t.Errorf("Parse(huber, 5) = %v, %v", l, err)
+	}
+	if _, err := Parse("hinge", 0); err == nil {
+		t.Error("Parse(hinge): want error")
+	}
+}

@@ -1,0 +1,113 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPinballValues(t *testing.T) {
+	p, err := NewPinball(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under-prediction (r = -10) costs τ·10 = 9; over-prediction costs 1.
+	if v := p.Value(-10); math.Abs(v-9) > 1e-12 {
+		t.Errorf("under-prediction cost = %f, want 9", v)
+	}
+	if v := p.Value(10); math.Abs(v-1) > 1e-12 {
+		t.Errorf("over-prediction cost = %f, want 1", v)
+	}
+	if p.Value(0) != 0 || p.Grad(0) != 0 {
+		t.Error("zero residual should cost nothing")
+	}
+	if g := p.Grad(-5); g != -0.9 {
+		t.Errorf("grad(-5) = %f, want -0.9", g)
+	}
+	if g := p.Grad(5); math.Abs(g-0.1) > 1e-12 {
+		t.Errorf("grad(5) = %f, want 0.1", g)
+	}
+}
+
+func TestPinballValidation(t *testing.T) {
+	for _, tau := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewPinball(tau); err == nil {
+			t.Errorf("tau=%f: want error", tau)
+		}
+	}
+}
+
+func TestPinballOptimalLeafIsQuantile(t *testing.T) {
+	// residuals = -y (prediction 0): optimal w is the τ-quantile of y.
+	ys := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	res := make([]float64, len(ys))
+	for i, y := range ys {
+		res[i] = -y
+	}
+	p, _ := NewPinball(0.9)
+	if w := p.OptimalLeaf(res); w != 90 {
+		t.Errorf("0.9-quantile leaf = %f, want 90", w)
+	}
+	p5, _ := NewPinball(0.5)
+	if w := p5.OptimalLeaf(res); w != 50 {
+		t.Errorf("median leaf = %f, want 50", w)
+	}
+	p1, _ := NewPinball(0.1)
+	if w := p1.OptimalLeaf(res); w != 10 {
+		t.Errorf("0.1-quantile leaf = %f, want 10", w)
+	}
+	if w := p5.OptimalLeaf(nil); w != 0 {
+		t.Errorf("empty leaf = %f", w)
+	}
+}
+
+// TestQuickPinballLeafMinimizes: the returned leaf value must be a
+// minimizer of the empirical pinball loss.
+func TestQuickPinballLeafMinimizes(t *testing.T) {
+	f := func(seed int64, tauRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := 0.05 + 0.9*float64(tauRaw)/255
+		p, err := NewPinball(tau)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(40)
+		res := make([]float64, n)
+		for i := range res {
+			res[i] = rng.NormFloat64() * 100
+		}
+		w := p.OptimalLeaf(res)
+		total := func(w float64) float64 {
+			s := 0.0
+			for _, r := range res {
+				s += p.Value(r + w)
+			}
+			return s
+		}
+		base := total(w)
+		for _, d := range []float64{-20, -1, 1, 20} {
+			if total(w+d) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePinball(t *testing.T) {
+	l, err := Parse("pinball", 0.9)
+	if err != nil || l.Name() != "pinball(0.9)" {
+		t.Errorf("Parse(pinball, 0.9) = %v, %v", l, err)
+	}
+	l, err = Parse("quantile", 0)
+	if err != nil || l.Name() != "pinball(0.5)" {
+		t.Errorf("Parse(quantile, 0) = %v, %v", l, err)
+	}
+	if _, err := Parse("pinball", 2); err == nil {
+		t.Error("tau=2: want error")
+	}
+}

@@ -1,0 +1,141 @@
+// Package ml defines the shared contracts of the DoMD model zoo: a columnar
+// regression dataset, the Model interface every trained regressor satisfies,
+// and the Trainer interface the pipeline's base-model search (Task 3)
+// iterates over.
+package ml
+
+import "fmt"
+
+// Dataset is a dense regression design matrix with optional target vector
+// and feature names. Rows are instances (avails), columns are features.
+type Dataset struct {
+	// X holds the feature matrix, one row per instance.
+	X [][]float64
+	// Y holds the regression target (delay in days); may be nil for
+	// prediction-only datasets.
+	Y []float64
+	// Names holds one name per column, e.g. "G1-AVG_SETTLED_AMT"; may be
+	// nil when names are unknown.
+	Names []string
+}
+
+// NumRows returns the number of instances.
+func (d *Dataset) NumRows() int { return len(d.X) }
+
+// NumCols returns the number of features (0 for an empty dataset).
+func (d *Dataset) NumCols() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks rectangularity and length agreement.
+func (d *Dataset) Validate() error {
+	p := d.NumCols()
+	for i, row := range d.X {
+		if len(row) != p {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	if d.Y != nil && len(d.Y) != len(d.X) {
+		return fmt.Errorf("ml: %d targets for %d rows", len(d.Y), len(d.X))
+	}
+	if d.Names != nil && len(d.Names) != p {
+		return fmt.Errorf("ml: %d names for %d features", len(d.Names), p)
+	}
+	return nil
+}
+
+// Column extracts column j as a fresh slice.
+func (d *Dataset) Column(j int) []float64 {
+	col := make([]float64, len(d.X))
+	for i, row := range d.X {
+		col[i] = row[j]
+	}
+	return col
+}
+
+// Select returns a new dataset restricted to the given column indices.
+// The rows are fresh slices; Y is shared.
+func (d *Dataset) Select(cols []int) *Dataset {
+	out := &Dataset{X: make([][]float64, len(d.X)), Y: d.Y}
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for k, j := range cols {
+			nr[k] = row[j]
+		}
+		out.X[i] = nr
+	}
+	if d.Names != nil {
+		out.Names = make([]string, len(cols))
+		for k, j := range cols {
+			out.Names[k] = d.Names[j]
+		}
+	}
+	return out
+}
+
+// Subset returns a new dataset restricted to the given row indices; rows and
+// targets are shared slices of the original.
+func (d *Dataset) Subset(rows []int) *Dataset {
+	out := &Dataset{X: make([][]float64, len(rows)), Names: d.Names}
+	if d.Y != nil {
+		out.Y = make([]float64, len(rows))
+	}
+	for k, i := range rows {
+		out.X[k] = d.X[i]
+		if d.Y != nil {
+			out.Y[k] = d.Y[i]
+		}
+	}
+	return out
+}
+
+// AppendColumn returns a new dataset with one extra trailing column (used by
+// the stacked architecture to feed the static model's prediction into the
+// timeline models). Rows are fresh slices.
+func (d *Dataset) AppendColumn(name string, col []float64) (*Dataset, error) {
+	if len(col) != len(d.X) {
+		return nil, fmt.Errorf("ml: append column of %d values to %d rows", len(col), len(d.X))
+	}
+	out := &Dataset{X: make([][]float64, len(d.X)), Y: d.Y}
+	for i, row := range d.X {
+		nr := make([]float64, len(row)+1)
+		copy(nr, row)
+		nr[len(row)] = col[i]
+		out.X[i] = nr
+	}
+	if d.Names != nil {
+		out.Names = append(append([]string(nil), d.Names...), name)
+	}
+	return out, nil
+}
+
+// Model is a trained regressor.
+type Model interface {
+	// Predict returns the estimate for one feature row.
+	Predict(x []float64) float64
+	// Importances returns one non-negative relevance score per feature
+	// column of the training data (gain for trees, |coefficient| for
+	// linear models). Used by RFE and the top-5 attribution of §5.2.5.
+	Importances() []float64
+}
+
+// PredictBatch applies m to every row.
+func PredictBatch(m Model, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Trainer fits a Model to a dataset. Implementations carry their own
+// hyperparameters.
+type Trainer interface {
+	// Name identifies the model family ("xgboost", "elasticnet", ...).
+	Name() string
+	// Fit trains on d (Y must be non-nil).
+	Fit(d *Dataset) (Model, error)
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"testing"
+)
+
+func sample() *Dataset {
+	return &Dataset{
+		X: [][]float64{
+			{1, 10, 100},
+			{2, 20, 200},
+			{3, 30, 300},
+		},
+		Y:     []float64{1, 2, 3},
+		Names: []string{"a", "b", "c"},
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	d := sample()
+	if d.NumRows() != 3 || d.NumCols() != 3 {
+		t.Errorf("shape = %dx%d, want 3x3", d.NumRows(), d.NumCols())
+	}
+	empty := &Dataset{}
+	if empty.NumRows() != 0 || empty.NumCols() != 0 {
+		t.Error("empty dataset shape should be 0x0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	ragged := &Dataset{X: [][]float64{{1, 2}, {3}}}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged: want error")
+	}
+	badY := &Dataset{X: [][]float64{{1}}, Y: []float64{1, 2}}
+	if err := badY.Validate(); err == nil {
+		t.Error("target length mismatch: want error")
+	}
+	badNames := &Dataset{X: [][]float64{{1}}, Names: []string{"a", "b"}}
+	if err := badNames.Validate(); err == nil {
+		t.Error("names length mismatch: want error")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	d := sample()
+	col := d.Column(1)
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("Column(1) = %v, want %v", col, want)
+		}
+	}
+	// Mutating the copy must not touch the dataset.
+	col[0] = -1
+	if d.X[0][1] != 10 {
+		t.Error("Column should return a copy")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := sample()
+	s := d.Select([]int{2, 0})
+	if s.NumCols() != 2 || s.NumRows() != 3 {
+		t.Fatalf("selected shape %dx%d", s.NumRows(), s.NumCols())
+	}
+	if s.X[1][0] != 200 || s.X[1][1] != 2 {
+		t.Errorf("Select reordered wrong: %v", s.X[1])
+	}
+	if s.Names[0] != "c" || s.Names[1] != "a" {
+		t.Errorf("Select names = %v", s.Names)
+	}
+	// Fresh rows: mutating selection must not affect original.
+	s.X[0][0] = -1
+	if d.X[0][2] != 100 {
+		t.Error("Select must copy rows")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	s := d.Subset([]int{2, 0})
+	if s.NumRows() != 2 {
+		t.Fatalf("subset rows = %d", s.NumRows())
+	}
+	if s.Y[0] != 3 || s.Y[1] != 1 {
+		t.Errorf("subset targets = %v", s.Y)
+	}
+	if s.X[0][0] != 3 {
+		t.Errorf("subset rows wrong: %v", s.X)
+	}
+	noY := &Dataset{X: [][]float64{{1}, {2}}}
+	if s2 := noY.Subset([]int{0}); s2.Y != nil {
+		t.Error("subset of target-less dataset should have nil Y")
+	}
+}
+
+func TestAppendColumn(t *testing.T) {
+	d := sample()
+	out, err := d.AppendColumn("static_pred", []float64{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() != 4 {
+		t.Fatalf("cols = %d, want 4", out.NumCols())
+	}
+	if out.X[2][3] != 9 {
+		t.Errorf("appended value = %f, want 9", out.X[2][3])
+	}
+	if out.Names[3] != "static_pred" {
+		t.Errorf("appended name = %q", out.Names[3])
+	}
+	// Original untouched.
+	if len(d.X[0]) != 3 || len(d.Names) != 3 {
+		t.Error("AppendColumn mutated original")
+	}
+	if _, err := d.AppendColumn("bad", []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+type constModel float64
+
+func (c constModel) Predict([]float64) float64 { return float64(c) }
+func (c constModel) Importances() []float64    { return nil }
+
+func TestPredictBatch(t *testing.T) {
+	got := PredictBatch(constModel(5), [][]float64{{1}, {2}})
+	if len(got) != 2 || got[0] != 5 || got[1] != 5 {
+		t.Errorf("PredictBatch = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBinnerBinsAreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64() * 100, rng.Float64()}
+	}
+	b, err := NewBinner(X, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		if b.NumBins(f) < 2 || b.NumBins(f) > 32 {
+			t.Errorf("feature %d: %d bins", f, b.NumBins(f))
+		}
+		// Larger values must never land in smaller bins.
+		prevBin := -1
+		vals := make([]float64, n)
+		for i := range X {
+			vals[i] = X[i][f]
+		}
+		for _, v := range []float64{-1e9, -50, 0, 50, 1e9} {
+			bin := b.binOf(f, v)
+			if bin < prevBin {
+				t.Fatalf("feature %d: bin(%f) = %d < previous %d", f, v, bin, prevBin)
+			}
+			prevBin = bin
+		}
+	}
+}
+
+func TestBinnerConstantFeature(t *testing.T) {
+	X := [][]float64{{7}, {7}, {7}}
+	b, err := NewBinner(X, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant column collapses to a single bin => never splittable.
+	if b.NumBins(0) > 2 {
+		t.Errorf("constant column has %d bins", b.NumBins(0))
+	}
+}
+
+func TestBinnerValidation(t *testing.T) {
+	X := [][]float64{{1}}
+	if _, err := NewBinner(X, 1); err == nil {
+		t.Error("bins=1: want error")
+	}
+	if _, err := NewBinner(X, 1000); err == nil {
+		t.Error("bins>256: want error")
+	}
+	if _, err := NewBinner(nil, 8); err == nil {
+		t.Error("empty X: want error")
+	}
+}
+
+// fitHist grows a CART-style tree with the histogram method.
+func fitHist(t *testing.T, cfg Config, X [][]float64, y []float64, bins int) *Node {
+	t.Helper()
+	b, err := NewBinner(X, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, len(y))
+	h := make([]float64, len(y))
+	rows := make([]int, len(y))
+	for i := range y {
+		g[i] = -y[i]
+		h[i] = 1
+		rows[i] = i
+	}
+	features := make([]int, len(X[0]))
+	for j := range features {
+		features[j] = j
+	}
+	n, err := BuildHist(cfg, b, g, h, rows, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestHistStepFunction(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{float64(i)})
+		if i >= 50 {
+			y = append(y, 100)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Lambda = 0
+	cfg.MinChildWeight = 0
+	root := fitHist(t, cfg, X, y, 32)
+	for i, row := range X {
+		if got := root.Predict(row); math.Abs(got-y[i]) > 5 {
+			t.Errorf("Predict(%v) = %f, want %f", row, got, y[i])
+		}
+	}
+}
+
+// TestHistCloseToExact: on smooth data the histogram tree's training fit
+// should be close to the exact tree's.
+func TestHistCloseToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		y[i] = 50*math.Sin(a*5) + 30*b
+	}
+	cfg := DefaultConfig()
+	cfg.Lambda = 0
+	cfg.MinChildWeight = 0
+	exact := fitCART(t, cfg, X, y)
+	hist := fitHist(t, cfg, X, y, 64)
+	mse := func(n *Node) float64 {
+		s := 0.0
+		for i, row := range X {
+			d := y[i] - n.Predict(row)
+			s += d * d
+		}
+		return s / float64(len(X))
+	}
+	me, mh := mse(exact), mse(hist)
+	if mh > me*1.5+1 {
+		t.Errorf("hist MSE %f too far above exact %f", mh, me)
+	}
+}
+
+func TestBuildHistErrors(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	b, err := NewBinner(X, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildHist(DefaultConfig(), nil, []float64{1, 2}, []float64{1, 1}, []int{0, 1}, []int{0}); err == nil {
+		t.Error("nil binner: want error")
+	}
+	if _, err := BuildHist(DefaultConfig(), b, []float64{1}, []float64{1, 1}, []int{0}, []int{0}); err == nil {
+		t.Error("grad mismatch: want error")
+	}
+	if _, err := BuildHist(DefaultConfig(), b, []float64{1, 2}, []float64{1, 1}, nil, []int{0}); err == nil {
+		t.Error("no rows: want error")
+	}
+	if _, err := BuildHist(Config{MaxDepth: -1}, b, []float64{1, 2}, []float64{1, 1}, []int{0}, []int{0}); err == nil {
+		t.Error("bad config: want error")
+	}
+}

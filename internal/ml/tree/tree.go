@@ -1,0 +1,246 @@
+// Package tree implements the regularized Newton regression tree that
+// underlies the framework's XGBoost-style booster (paper §3.2.2, citing Chen
+// & Guestrin). A tree is grown by exact greedy split search on per-instance
+// first and second loss derivatives (g, h); each leaf takes the closed-form
+// weight w* = -G/(H+λ) and each split must improve the regularized objective
+// by more than γ.
+//
+// Fitting a single tree with g_i = -y_i and h_i = 1 reproduces a classical
+// CART regression tree (leaf = mean target, variance-reduction splits), which
+// is how the package doubles as a standalone tree learner.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth limits tree depth; depth 0 means a single leaf.
+	MaxDepth int
+	// MinChildWeight is the minimum hessian sum per child (XGBoost's
+	// min_child_weight); splits creating lighter children are rejected.
+	MinChildWeight float64
+	// Lambda is the L2 regularization on leaf weights.
+	Lambda float64
+	// Gamma is the minimum split gain (complexity penalty per leaf).
+	Gamma float64
+	// MinSamplesSplit rejects splitting nodes with fewer rows.
+	MinSamplesSplit int
+}
+
+// DefaultConfig mirrors common XGBoost defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxDepth:        6,
+		MinChildWeight:  1,
+		Lambda:          1,
+		Gamma:           0,
+		MinSamplesSplit: 2,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("tree: max depth %d < 0", c.MaxDepth)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("tree: lambda %f < 0", c.Lambda)
+	}
+	if c.Gamma < 0 {
+		return fmt.Errorf("tree: gamma %f < 0", c.Gamma)
+	}
+	if c.MinChildWeight < 0 {
+		return fmt.Errorf("tree: min child weight %f < 0", c.MinChildWeight)
+	}
+	return nil
+}
+
+// Node is one tree node. Leaves have Feature == -1.
+type Node struct {
+	// Feature is the split column, or -1 for a leaf.
+	Feature int
+	// Threshold: rows with x[Feature] < Threshold go left.
+	Threshold float64
+	// Weight is the leaf output value (only meaningful for leaves).
+	Weight float64
+	// Gain is the split's objective improvement (internal nodes).
+	Gain        float64
+	Left, Right *Node
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature < 0 }
+
+// Predict routes x to a leaf and returns its weight.
+func (n *Node) Predict(x []float64) float64 { return n.LeafFor(x).Weight }
+
+// LeafFor routes x to its leaf node (useful for per-leaf re-estimation).
+func (n *Node) LeafFor(x []float64) *Node {
+	for !n.IsLeaf() {
+		if x[n.Feature] < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// NumLeaves counts leaves.
+func (n *Node) NumLeaves() int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return n.Left.NumLeaves() + n.Right.NumLeaves()
+}
+
+// Depth returns the height of the tree (a lone leaf has depth 0).
+func (n *Node) Depth() int {
+	if n.IsLeaf() {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// AccumImportances adds each split's gain to imp[feature]; imp must have one
+// entry per feature column.
+func (n *Node) AccumImportances(imp []float64) {
+	if n.IsLeaf() {
+		return
+	}
+	imp[n.Feature] += n.Gain
+	n.Left.AccumImportances(imp)
+	n.Right.AccumImportances(imp)
+}
+
+// Build grows a tree on rows (indices into X) using gradients g and
+// hessians h. features lists the candidate split columns (column sampling is
+// the caller's concern). X is row-major.
+func Build(cfg Config, X [][]float64, g, h []float64, rows, features []int) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(g) != len(X) || len(h) != len(X) {
+		return nil, fmt.Errorf("tree: %d rows but %d gradients / %d hessians", len(X), len(g), len(h))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tree: no training rows")
+	}
+	b := &builder{cfg: cfg, X: X, g: g, h: h, features: features}
+	// Reusable scratch for per-node sorting.
+	b.order = make([]int, len(rows))
+	return b.grow(append([]int(nil), rows...), 0), nil
+}
+
+type builder struct {
+	cfg      Config
+	X        [][]float64
+	g, h     []float64
+	features []int
+	order    []int
+}
+
+// leaf computes the closed-form optimal weight -G/(H+λ).
+func (b *builder) leaf(G, H float64) *Node {
+	return &Node{Feature: -1, Weight: -G / (H + b.cfg.Lambda)}
+}
+
+type split struct {
+	feature   int
+	threshold float64
+	gain      float64
+	// left receives rows with value < threshold.
+	leftRows, rightRows []int
+}
+
+func (b *builder) grow(rows []int, depth int) *Node {
+	var G, H float64
+	for _, i := range rows {
+		G += b.g[i]
+		H += b.h[i]
+	}
+	if depth >= b.cfg.MaxDepth || len(rows) < b.cfg.MinSamplesSplit {
+		return b.leaf(G, H)
+	}
+	best := b.bestSplit(rows, G, H)
+	if best == nil {
+		return b.leaf(G, H)
+	}
+	n := &Node{
+		Feature:   best.feature,
+		Threshold: best.threshold,
+		Gain:      best.gain,
+	}
+	n.Left = b.grow(best.leftRows, depth+1)
+	n.Right = b.grow(best.rightRows, depth+1)
+	return n
+}
+
+// bestSplit performs exact greedy search over every candidate feature and
+// threshold, maximizing the regularized gain
+//
+//	½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ.
+func (b *builder) bestSplit(rows []int, G, H float64) *split {
+	lam := b.cfg.Lambda
+	parentScore := G * G / (H + lam)
+	var best *split
+	order := b.order[:len(rows)]
+	for _, f := range b.features {
+		copy(order, rows)
+		sort.Slice(order, func(a, c int) bool { return b.X[order[a]][f] < b.X[order[c]][f] })
+		var GL, HL float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			GL += b.g[i]
+			HL += b.h[i]
+			v, next := b.X[i][f], b.X[order[k+1]][f]
+			if v == next {
+				continue // can't split between equal values
+			}
+			GR, HR := G-GL, H-HL
+			if HL < b.cfg.MinChildWeight || HR < b.cfg.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(GL*GL/(HL+lam)+GR*GR/(HR+lam)-parentScore) - b.cfg.Gamma
+			if gain <= 0 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				mid := v + (next-v)/2
+				if mid == v { // adjacent floats: fall back to next
+					mid = next
+				}
+				if best == nil {
+					best = &split{}
+				}
+				best.feature = f
+				best.threshold = mid
+				best.gain = gain
+				best.leftRows = best.leftRows[:0]
+				best.rightRows = best.rightRows[:0]
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Partition rows by the winning split.
+	for _, i := range rows {
+		if b.X[i][best.feature] < best.threshold {
+			best.leftRows = append(best.leftRows, i)
+		} else {
+			best.rightRows = append(best.rightRows, i)
+		}
+	}
+	if len(best.leftRows) == 0 || len(best.rightRows) == 0 {
+		return nil
+	}
+	return best
+}

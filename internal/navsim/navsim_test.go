@@ -1,0 +1,312 @@
+package navsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"domd/internal/domain"
+	"domd/internal/stats"
+	"domd/internal/swlin"
+)
+
+func generate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDefaultCardinalitiesMatchTable5(t *testing.T) {
+	ds := generate(t, Config{})
+	closed := 0
+	for _, a := range ds.Avails {
+		if a.Status == domain.StatusClosed {
+			closed++
+		}
+	}
+	if closed != 187 {
+		t.Errorf("closed avails = %d, want 187", closed)
+	}
+	// Table 5: 52,959 RCCs. Poisson noise means we check a band.
+	n := len(ds.RCCs)
+	if n < 40000 || n > 70000 {
+		t.Errorf("RCC count = %d, want ≈53k", n)
+	}
+}
+
+func TestRecordsAreValid(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 50, NumOngoing: 3, MeanRCCsPerAvail: 100, Seed: 2})
+	availIDs := map[int]bool{}
+	for i := range ds.Avails {
+		a := &ds.Avails[i]
+		if err := a.Validate(); err != nil {
+			t.Fatalf("avail %d invalid: %v", a.ID, err)
+		}
+		if availIDs[a.ID] {
+			t.Fatalf("duplicate avail id %d", a.ID)
+		}
+		availIDs[a.ID] = true
+	}
+	rccIDs := map[int]bool{}
+	for i := range ds.RCCs {
+		r := &ds.RCCs[i]
+		if err := r.Validate(); err != nil {
+			t.Fatalf("rcc %d invalid: %v", r.ID, err)
+		}
+		if rccIDs[r.ID] {
+			t.Fatalf("duplicate rcc id %d", r.ID)
+		}
+		rccIDs[r.ID] = true
+		if !availIDs[r.AvailID] {
+			t.Fatalf("rcc %d references unknown avail %d", r.ID, r.AvailID)
+		}
+		if !swlin.Code(r.SWLIN).Valid() {
+			t.Fatalf("rcc %d has invalid SWLIN %d", r.ID, r.SWLIN)
+		}
+	}
+}
+
+func TestDelayDistributionShape(t *testing.T) {
+	ds := generate(t, Config{})
+	delays := ds.Delays()
+	if len(delays) != 187 {
+		t.Fatalf("%d delays", len(delays))
+	}
+	med := stats.Quantile(delays, 0.5)
+	if med < 0 || med > 120 {
+		t.Errorf("median delay = %f days, want a few months at most", med)
+	}
+	// Fig. 2: long right tail out to multiple years.
+	max := stats.Quantile(delays, 1.0)
+	if max < 365 {
+		t.Errorf("max delay = %f, want a multi-year tail", max)
+	}
+	// Some early finishes exist but are bounded.
+	min := stats.Quantile(delays, 0.0)
+	if min < -45 {
+		t.Errorf("min delay = %f, early finishes should be bounded", min)
+	}
+	// Right skew: mean > median.
+	if stats.Mean(delays) <= med {
+		t.Errorf("mean %f <= median %f; delay should be right-skewed", stats.Mean(delays), med)
+	}
+}
+
+func TestTroubleDrivesBothRCCsAndDelay(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 150, NumOngoing: 0, MeanRCCsPerAvail: 150, Seed: 3})
+	byAvail := ds.RCCsByAvail()
+	var thetas, counts, delays []float64
+	for i := range ds.Avails {
+		a := &ds.Avails[i]
+		d, err := a.Delay()
+		if err != nil {
+			continue
+		}
+		thetas = append(thetas, ds.Truth[a.ID])
+		counts = append(counts, float64(len(byAvail[a.ID])))
+		delays = append(delays, float64(d))
+	}
+	rTC, err := stats.Pearson(thetas, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTC < 0.6 {
+		t.Errorf("corr(theta, rcc count) = %f, want strong", rTC)
+	}
+	rCD, err := stats.Spearman(counts, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rCD < 0.2 {
+		t.Errorf("corr(rcc count, delay) = %f, want positive signal", rCD)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{NumClosed: 30, NumOngoing: 2, MeanRCCsPerAvail: 50, Seed: 77}
+	a := generate(t, cfg)
+	b := generate(t, cfg)
+	if len(a.RCCs) != len(b.RCCs) {
+		t.Fatal("same seed must generate identical datasets")
+	}
+	for i := range a.RCCs {
+		if a.RCCs[i] != b.RCCs[i] {
+			t.Fatal("same seed must generate identical RCCs")
+		}
+	}
+	cfg.Seed = 78
+	c := generate(t, cfg)
+	if len(a.RCCs) == len(c.RCCs) && len(a.RCCs) > 0 && a.RCCs[0] == c.RCCs[0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestOngoingAvailsHaveNoEnd(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 10, NumOngoing: 4, MeanRCCsPerAvail: 20, Seed: 4})
+	ongoing := 0
+	for i := range ds.Avails {
+		if ds.Avails[i].Status == domain.StatusOngoing {
+			ongoing++
+			if _, err := ds.Avails[i].Delay(); err == nil {
+				t.Error("ongoing avail reports a delay")
+			}
+		}
+	}
+	if ongoing != 4 {
+		t.Errorf("ongoing = %d, want 4", ongoing)
+	}
+}
+
+func TestRCCDatesInsideExecutionWindow(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 40, NumOngoing: 0, MeanRCCsPerAvail: 80, Seed: 5})
+	availByID := map[int]*domain.Avail{}
+	for i := range ds.Avails {
+		availByID[ds.Avails[i].ID] = &ds.Avails[i]
+	}
+	for _, r := range ds.RCCs {
+		a := availByID[r.AvailID]
+		if r.Created < a.ActStart {
+			t.Fatalf("rcc %d created %v before actual start %v", r.ID, r.Created, a.ActStart)
+		}
+		// Settlement may run slightly past the avail end (real RCCs do),
+		// but creation must fall within roughly the execution window.
+		if a.Status == domain.StatusClosed && r.Created > a.ActEnd {
+			t.Fatalf("rcc %d created %v after actual end %v", r.ID, r.Created, a.ActEnd)
+		}
+	}
+}
+
+func TestScalePreservesTemporalDistribution(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 20, NumOngoing: 0, MeanRCCsPerAvail: 30, Seed: 6})
+	scaled, err := Scale(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scaled.RCCs) != 5*len(ds.RCCs) {
+		t.Fatalf("scaled count = %d, want %d", len(scaled.RCCs), 5*len(ds.RCCs))
+	}
+	// Unique IDs.
+	ids := map[int]bool{}
+	for _, r := range scaled.RCCs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %d after scaling", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// Temporal distribution intact: same multiset of creation dates, x5.
+	counts := map[domain.Day]int{}
+	for _, r := range ds.RCCs {
+		counts[r.Created]++
+	}
+	scaledCounts := map[domain.Day]int{}
+	for _, r := range scaled.RCCs {
+		scaledCounts[r.Created]++
+	}
+	for day, c := range counts {
+		if scaledCounts[day] != 5*c {
+			t.Fatalf("day %v: %d scaled vs %d original", day, scaledCounts[day], c)
+		}
+	}
+	// Avails untouched.
+	if len(scaled.Avails) != len(ds.Avails) {
+		t.Error("scaling must not change avails")
+	}
+}
+
+func TestScaleFactorOne(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 10, NumOngoing: 0, MeanRCCsPerAvail: 10, Seed: 7})
+	same, err := Scale(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.RCCs) != len(ds.RCCs) {
+		t.Error("factor 1 should be identity on counts")
+	}
+	if _, err := Scale(ds, 0); err == nil {
+		t.Error("factor 0: want error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumClosed: 2, NumOngoing: 0, MeanRCCsPerAvail: 10},
+		{NumClosed: 10, NumOngoing: -1, MeanRCCsPerAvail: 10},
+		{NumClosed: 10, NumOngoing: 0, MeanRCCsPerAvail: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	// Check the internal sampler through the aggregate RCC counts: mean
+	// count per avail should track MeanRCCsPerAvail within sampling error.
+	ds := generate(t, Config{NumClosed: 100, NumOngoing: 0, MeanRCCsPerAvail: 200, Seed: 8})
+	mean := float64(len(ds.RCCs)) / 100
+	if math.Abs(mean-200) > 40 {
+		t.Errorf("mean RCCs per avail = %f, want ≈200", mean)
+	}
+}
+
+func TestStaticAttributesInRange(t *testing.T) {
+	ds := generate(t, Config{NumClosed: 60, NumOngoing: 0, MeanRCCsPerAvail: 20, Seed: 9})
+	for i := range ds.Avails {
+		a := &ds.Avails[i]
+		if a.ShipAge < 3 || a.ShipAge > 35 {
+			t.Errorf("avail %d: ship age %f out of range", a.ID, a.ShipAge)
+		}
+		if a.RMC < 1 || a.RMC > 6 {
+			t.Errorf("avail %d: RMC %d out of range", a.ID, a.RMC)
+		}
+		if a.DockType != 0 && a.DockType != 1 {
+			t.Errorf("avail %d: dock type %d", a.ID, a.DockType)
+		}
+		if dur := a.PlannedDuration(); dur < 120 || dur > 720 {
+			t.Errorf("avail %d: planned duration %d out of range", a.ID, dur)
+		}
+		if a.PlannedCost <= 0 {
+			t.Errorf("avail %d: non-positive planned cost", a.ID)
+		}
+	}
+}
+
+// TestQuickGeneratorInvariants fuzzes configurations and checks structural
+// invariants: valid records, bounded-below delays, referential integrity.
+func TestQuickGeneratorInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		cfg := Config{
+			NumClosed:        4 + int(nRaw)%40,
+			NumOngoing:       int(mRaw) % 4,
+			MeanRCCsPerAvail: 5 + float64(mRaw%50),
+			Seed:             seed,
+		}
+		ds, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		ids := map[int]bool{}
+		for i := range ds.Avails {
+			if ds.Avails[i].Validate() != nil {
+				return false
+			}
+			ids[ds.Avails[i].ID] = true
+			if d, err := ds.Avails[i].Delay(); err == nil && d < -45 {
+				return false
+			}
+		}
+		for i := range ds.RCCs {
+			if ds.RCCs[i].Validate() != nil || !ids[ds.RCCs[i].AvailID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

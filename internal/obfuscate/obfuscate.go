@@ -1,0 +1,182 @@
+// Package obfuscate implements the CUI data-protection stage of the paper's
+// deployment story (§1): the pipeline is developed against an obfuscated
+// export of the Navy Maintenance Database and later "retrains on raw data in
+// the Navy environment without human intervention". That only works if
+// obfuscation preserves every relationship the pipeline learns from, so the
+// transform here is structure-preserving and keyed:
+//
+//   - identifiers (avail, ship, RCC) are remapped through keyed permutations;
+//   - all dates are shifted by a single global offset, preserving every
+//     duration, delay and logical-time relationship exactly;
+//   - dollar amounts are scaled by a single positive factor, preserving
+//     ratios and correlations;
+//   - SWLIN digits are remapped by a keyed digit permutation applied
+//     per-level, preserving the hierarchy (equal prefixes stay equal).
+//
+// Holding the Key allows exact inversion, which is how results computed on
+// obfuscated data are mapped back to real identifiers inside the enclave.
+package obfuscate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"domd/internal/domain"
+	"domd/internal/swlin"
+)
+
+// Key holds the secret parameters of the transform.
+type Key struct {
+	// Seed drives the identifier and digit permutations.
+	Seed int64
+	// DateShift is added to every date (days).
+	DateShift int
+	// AmountScale multiplies every dollar amount; must be > 0.
+	AmountScale float64
+}
+
+// NewKey derives a usable key from a seed.
+func NewKey(seed int64) Key {
+	rng := rand.New(rand.NewSource(seed))
+	return Key{
+		Seed:        seed,
+		DateShift:   rng.Intn(20000) - 10000,
+		AmountScale: 0.25 + rng.Float64()*3.75,
+	}
+}
+
+// Validate rejects degenerate keys.
+func (k Key) Validate() error {
+	if k.AmountScale <= 0 {
+		return fmt.Errorf("obfuscate: amount scale %f must be > 0", k.AmountScale)
+	}
+	return nil
+}
+
+// Obfuscator applies or inverts the keyed transform.
+type Obfuscator struct {
+	key Key
+	// digit permutation per SWLIN position and its inverse.
+	digitPerm [swlin.Digits][10]int
+	digitInv  [swlin.Digits][10]int
+	// id offsets (affine remap keeps uniqueness without storing maps).
+	availIDOff, shipIDOff, rccIDOff int
+}
+
+// New builds an Obfuscator from a key.
+func New(key Key) (*Obfuscator, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Obfuscator{key: key}
+	rng := rand.New(rand.NewSource(key.Seed))
+	for pos := 0; pos < swlin.Digits; pos++ {
+		perm := rng.Perm(10)
+		for i, p := range perm {
+			o.digitPerm[pos][i] = p
+			o.digitInv[pos][p] = i
+		}
+	}
+	o.availIDOff = 10000 + rng.Intn(90000)
+	o.shipIDOff = 10000 + rng.Intn(90000)
+	o.rccIDOff = 100000 + rng.Intn(900000)
+	return o, nil
+}
+
+// Apply obfuscates copies of the inputs; the originals are not modified.
+func (o *Obfuscator) Apply(avails []domain.Avail, rccs []domain.RCC) ([]domain.Avail, []domain.RCC) {
+	outA := make([]domain.Avail, len(avails))
+	for i, a := range avails {
+		a.ID += o.availIDOff
+		a.ShipID += o.shipIDOff
+		a.PlanStart += domain.Day(o.key.DateShift)
+		a.PlanEnd += domain.Day(o.key.DateShift)
+		a.ActStart += domain.Day(o.key.DateShift)
+		if a.Status == domain.StatusClosed {
+			a.ActEnd += domain.Day(o.key.DateShift)
+		}
+		a.PlannedCost *= o.key.AmountScale
+		outA[i] = a
+	}
+	outR := make([]domain.RCC, len(rccs))
+	for i, r := range rccs {
+		r.ID += o.rccIDOff
+		r.AvailID += o.availIDOff
+		r.Created += domain.Day(o.key.DateShift)
+		r.Settled += domain.Day(o.key.DateShift)
+		r.Amount *= o.key.AmountScale
+		r.SWLIN = o.mapSWLIN(r.SWLIN, false)
+		outR[i] = r
+	}
+	return outA, outR
+}
+
+// Invert exactly reverses Apply.
+func (o *Obfuscator) Invert(avails []domain.Avail, rccs []domain.RCC) ([]domain.Avail, []domain.RCC) {
+	outA := make([]domain.Avail, len(avails))
+	for i, a := range avails {
+		a.ID -= o.availIDOff
+		a.ShipID -= o.shipIDOff
+		a.PlanStart -= domain.Day(o.key.DateShift)
+		a.PlanEnd -= domain.Day(o.key.DateShift)
+		a.ActStart -= domain.Day(o.key.DateShift)
+		if a.Status == domain.StatusClosed {
+			a.ActEnd -= domain.Day(o.key.DateShift)
+		}
+		a.PlannedCost /= o.key.AmountScale
+		outA[i] = a
+	}
+	outR := make([]domain.RCC, len(rccs))
+	for i, r := range rccs {
+		r.ID -= o.rccIDOff
+		r.AvailID -= o.availIDOff
+		r.Created -= domain.Day(o.key.DateShift)
+		r.Settled -= domain.Day(o.key.DateShift)
+		r.Amount /= o.key.AmountScale
+		r.SWLIN = o.mapSWLIN(r.SWLIN, true)
+		outR[i] = r
+	}
+	return outA, outR
+}
+
+// mapSWLIN permutes each digit with the per-position permutation (or its
+// inverse), preserving the prefix hierarchy: two codes share an obfuscated
+// prefix iff they shared the original prefix.
+func (o *Obfuscator) mapSWLIN(code int, invert bool) int {
+	c := swlin.Code(code)
+	out := 0
+	for pos := 0; pos < swlin.Digits; pos++ {
+		d := c.Digit(pos)
+		if invert {
+			d = o.digitInv[pos][d]
+		} else {
+			d = o.digitPerm[pos][d]
+		}
+		out = out*10 + d
+	}
+	return out
+}
+
+// SaveKey writes the key as JSON; the key never leaves the enclave in the
+// deployed setting, but operators need to persist it across retraining runs
+// to keep obfuscated identifiers stable.
+func SaveKey(w io.Writer, k Key) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(k)
+}
+
+// LoadKey reads a key written by SaveKey.
+func LoadKey(r io.Reader) (Key, error) {
+	var k Key
+	if err := json.NewDecoder(r).Decode(&k); err != nil {
+		return Key{}, fmt.Errorf("obfuscate: load key: %w", err)
+	}
+	if err := k.Validate(); err != nil {
+		return Key{}, err
+	}
+	return k, nil
+}

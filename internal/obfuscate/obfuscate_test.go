@@ -1,0 +1,221 @@
+package obfuscate
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"domd/internal/domain"
+	"domd/internal/navsim"
+	"domd/internal/swlin"
+)
+
+func dataset(t *testing.T) *navsim.Dataset {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 30, NumOngoing: 2, MeanRCCsPerAvail: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obA, obR := o.Apply(ds.Avails, ds.RCCs)
+	backA, backR := o.Invert(obA, obR)
+	for i := range backA {
+		if backA[i] != ds.Avails[i] {
+			t.Fatalf("avail %d not restored:\n got %+v\nwant %+v", i, backA[i], ds.Avails[i])
+		}
+	}
+	for i := range backR {
+		got, want := backR[i], ds.RCCs[i]
+		// Amounts go through multiply/divide; allow FP dust.
+		if math.Abs(got.Amount-want.Amount) > 1e-9*math.Abs(want.Amount) {
+			t.Fatalf("rcc %d amount not restored: %f vs %f", i, got.Amount, want.Amount)
+		}
+		got.Amount, want.Amount = 0, 0
+		if got != want {
+			t.Fatalf("rcc %d not restored:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestIdentifiersChange(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obA, obR := o.Apply(ds.Avails, ds.RCCs)
+	for i := range obA {
+		if obA[i].ID == ds.Avails[i].ID || obA[i].ShipID == ds.Avails[i].ShipID {
+			t.Fatal("identifiers must change")
+		}
+		if obA[i].PlanStart == ds.Avails[i].PlanStart {
+			t.Fatal("dates must shift")
+		}
+	}
+	for i := range obR {
+		if obR[i].ID == ds.RCCs[i].ID {
+			t.Fatal("rcc ids must change")
+		}
+	}
+}
+
+func TestDelaysPreserved(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obA, _ := o.Apply(ds.Avails, ds.RCCs)
+	for i := range obA {
+		if obA[i].Status != domain.StatusClosed {
+			continue
+		}
+		want, err1 := ds.Avails[i].Delay()
+		got, err2 := obA[i].Delay()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if got != want {
+			t.Fatalf("avail %d: delay %d after obfuscation, want %d", i, got, want)
+		}
+		if obA[i].PlannedDuration() != ds.Avails[i].PlannedDuration() {
+			t.Fatal("planned duration must be preserved")
+		}
+	}
+}
+
+func TestReferentialIntegrityPreserved(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obA, obR := o.Apply(ds.Avails, ds.RCCs)
+	ids := map[int]bool{}
+	for i := range obA {
+		ids[obA[i].ID] = true
+	}
+	for i := range obR {
+		if !ids[obR[i].AvailID] {
+			t.Fatalf("rcc %d references missing avail %d", obR[i].ID, obR[i].AvailID)
+		}
+	}
+}
+
+func TestSWLINHierarchyPreserved(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, obR := o.Apply(ds.Avails, ds.RCCs)
+	// Two RCCs share an obfuscated prefix at level L iff they shared the
+	// original prefix at level L.
+	for i := 0; i < len(ds.RCCs) && i < 300; i++ {
+		for j := i + 1; j < len(ds.RCCs) && j < 300; j++ {
+			for _, level := range []int{1, 3, 5, 8} {
+				orig := swlin.Code(ds.RCCs[i].SWLIN).Prefix(level) == swlin.Code(ds.RCCs[j].SWLIN).Prefix(level)
+				ob := swlin.Code(obR[i].SWLIN).Prefix(level) == swlin.Code(obR[j].SWLIN).Prefix(level)
+				if orig != ob {
+					t.Fatalf("prefix equality at level %d broken for rccs %d,%d", level, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAmountRatiosPreserved(t *testing.T) {
+	ds := dataset(t)
+	o, err := New(NewKey(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, obR := o.Apply(ds.Avails, ds.RCCs)
+	r0 := ds.RCCs[0].Amount / ds.RCCs[1].Amount
+	r1 := obR[0].Amount / obR[1].Amount
+	if math.Abs(r0-r1) > 1e-9 {
+		t.Errorf("amount ratio changed: %f vs %f", r0, r1)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	if _, err := New(Key{AmountScale: 0}); err == nil {
+		t.Error("zero amount scale: want error")
+	}
+	if _, err := New(Key{AmountScale: -1}); err == nil {
+		t.Error("negative amount scale: want error")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	ds := dataset(t)
+	o1, err := New(NewKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := New(NewKey(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := o1.Apply(ds.Avails, ds.RCCs)
+	a2, _ := o2.Apply(ds.Avails, ds.RCCs)
+	if a1[0].ID == a2[0].ID && a1[0].PlanStart == a2[0].PlanStart {
+		t.Error("different keys should obfuscate differently")
+	}
+}
+
+func TestKeySaveLoad(t *testing.T) {
+	k := NewKey(99)
+	var buf bytes.Buffer
+	if err := SaveKey(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != k {
+		t.Fatalf("key round trip: %+v vs %+v", back, k)
+	}
+	// A reloaded key must reproduce the same obfuscation exactly.
+	ds := dataset(t)
+	o1, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := New(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, r1 := o1.Apply(ds.Avails, ds.RCCs)
+	a2, r2 := o2.Apply(ds.Avails, ds.RCCs)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("avails differ under reloaded key")
+		}
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("rccs differ under reloaded key")
+		}
+	}
+	// Corrupt inputs.
+	if _, err := LoadKey(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := LoadKey(strings.NewReader(`{"Seed":1,"DateShift":0,"AmountScale":0}`)); err == nil {
+		t.Error("invalid key: want error")
+	}
+	if err := SaveKey(&buf, Key{AmountScale: -1}); err == nil {
+		t.Error("invalid key save: want error")
+	}
+}

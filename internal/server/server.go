@@ -1,0 +1,204 @@
+// Package server exposes the DoMD framework as an HTTP back end — the role
+// the paper describes for the deployed system ("a back-end engine for a
+// fleet-readiness application within the Navy's SMDII"). It wraps a trained
+// core.Pipeline and a statusq.Catalog behind a small JSON API:
+//
+//	GET /healthz                          liveness probe
+//	GET /avails                           list avails (id, status, dates)
+//	GET /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
+//	GET /fleet?date=2024-04-12            DoMD for every ongoing avail
+//
+// The server is read-only over the model; RCC ingestion goes through the
+// catalog before the server is constructed (or via a fronting pipeline in
+// the enclave).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"domd/internal/core"
+	"domd/internal/domain"
+	"domd/internal/features"
+	"domd/internal/index"
+	"domd/internal/statusq"
+)
+
+// Server handles the SMDII-style JSON API.
+type Server struct {
+	svc     *core.QueryService
+	catalog *statusq.Catalog
+	mux     *http.ServeMux
+}
+
+// New wires a trained pipeline and an avail catalog into an http.Handler.
+func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, kind index.Kind) *Server {
+	s := &Server{
+		svc:     core.NewQueryService(p, ext, kind),
+		catalog: catalog,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /avails", s.handleAvails)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /fleet", s.handleFleet)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// availView is the /avails row.
+type availView struct {
+	ID        int    `json:"id"`
+	ShipID    int    `json:"ship_id"`
+	Status    string `json:"status"`
+	PlanStart string `json:"plan_start"`
+	PlanEnd   string `json:"plan_end"`
+	ActStart  string `json:"actual_start"`
+	ActEnd    string `json:"actual_end,omitempty"`
+	DelayDays *int   `json:"delay_days,omitempty"`
+}
+
+func (s *Server) handleAvails(w http.ResponseWriter, _ *http.Request) {
+	var out []availView
+	for _, id := range s.catalog.AvailIDs() {
+		a, _ := s.catalog.Avail(id)
+		v := availView{
+			ID: a.ID, ShipID: a.ShipID, Status: a.Status.String(),
+			PlanStart: a.PlanStart.String(), PlanEnd: a.PlanEnd.String(),
+			ActStart: a.ActStart.String(),
+		}
+		if a.Status == domain.StatusClosed {
+			v.ActEnd = a.ActEnd.String()
+			if d, err := a.Delay(); err == nil {
+				v.DelayDays = &d
+			}
+		}
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// estimateView is one trajectory point of /query.
+type estimateView struct {
+	Timestamp float64 `json:"t_star"`
+	Raw       float64 `json:"raw_days"`
+	Fused     float64 `json:"fused_days"`
+}
+
+// driverView is one §5.2.5 top-feature row.
+type driverView struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Value       float64 `json:"value"`
+	Score       float64 `json:"score"`
+}
+
+// queryView is the /query response.
+type queryView struct {
+	AvailID     int            `json:"avail_id"`
+	At          string         `json:"at"`
+	LogicalTime float64        `json:"t_star"`
+	FinalDays   float64        `json:"estimated_delay_days"`
+	Estimates   []estimateView `json:"estimates"`
+	TopDrivers  []driverView   `json:"top_drivers"`
+}
+
+func (s *Server) queryOne(id int, at domain.Day) (*queryView, error) {
+	a, ok := s.catalog.Avail(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown avail %d", id)
+	}
+	res, err := s.svc.Query(a, s.catalog.RCCs(id), at)
+	if err != nil {
+		return nil, err
+	}
+	view := &queryView{
+		AvailID:     res.AvailID,
+		At:          at.String(),
+		LogicalTime: res.LogicalTime,
+		FinalDays:   res.Final(),
+	}
+	for _, e := range res.Estimates {
+		view.Estimates = append(view.Estimates, estimateView{Timestamp: e.Timestamp, Raw: e.Raw, Fused: e.Fused})
+	}
+	for _, d := range res.TopDrivers {
+		desc, err := features.Describe(d.Name)
+		if err != nil {
+			desc = ""
+		}
+		view.TopDrivers = append(view.TopDrivers, driverView{Name: d.Name, Description: desc, Value: d.Value, Score: d.Score})
+	}
+	return view, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("avail"), "%d", &id); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing or invalid avail parameter"))
+		return
+	}
+	at, err := domain.ParseDay(r.URL.Query().Get("date"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.queryOne(id, at)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if _, ok := s.catalog.Avail(id); !ok {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// fleetRow is one /fleet entry; failed avails carry an error message so one
+// unqueryable avail doesn't hide the rest of the fleet.
+type fleetRow struct {
+	AvailID int        `json:"avail_id"`
+	Result  *queryView `json:"result,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	at, err := domain.ParseDay(r.URL.Query().Get("date"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var rows []fleetRow
+	for _, id := range s.catalog.OngoingIDs() {
+		view, err := s.queryOne(id, at)
+		row := fleetRow{AvailID: id}
+		if err != nil {
+			row.Error = err.Error()
+		} else {
+			row.Result = view
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, rows)
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"domd/internal/core"
+	"domd/internal/features"
+	"domd/internal/fusion"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+	"domd/internal/split"
+	"domd/internal/statusq"
+)
+
+// newTestServer trains a small pipeline and serves the dataset's fleet.
+func newTestServer(t *testing.T) (*httptest.Server, *navsim.Dataset) {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 40, NumOngoing: 3, MeanRCCsPerAvail: 40, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.BaselineConfig()
+	cfg.Fusion = fusion.MethodAverage
+	p := gbt.DefaultParams()
+	p.NumRounds = 15
+	p.LearningRate = 0.3
+	cfg.GBTParams = &p
+	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := statusq.NewCatalog(ds.Avails, ds.RCCs, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(pipe, ext, catalog, index.KindAVL))
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func get(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var body map[string]string
+	get(t, srv.URL+"/healthz", http.StatusOK, &body)
+	if body["status"] != "ok" {
+		t.Errorf("health = %v", body)
+	}
+}
+
+func TestAvailsList(t *testing.T) {
+	srv, ds := newTestServer(t)
+	var rows []map[string]any
+	get(t, srv.URL+"/avails", http.StatusOK, &rows)
+	if len(rows) != len(ds.Avails) {
+		t.Fatalf("%d avails, want %d", len(rows), len(ds.Avails))
+	}
+	closed, ongoing := 0, 0
+	for _, r := range rows {
+		switch r["status"] {
+		case "closed":
+			closed++
+			if _, ok := r["delay_days"]; !ok {
+				t.Error("closed avail missing delay_days")
+			}
+		case "ongoing":
+			ongoing++
+			if _, ok := r["actual_end"]; ok {
+				t.Error("ongoing avail has actual_end")
+			}
+		}
+	}
+	if closed != 40 || ongoing != 3 {
+		t.Errorf("closed/ongoing = %d/%d", closed, ongoing)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t)
+	var target int
+	for i := range ds.Avails {
+		if ds.Avails[i].Status.String() == "ongoing" {
+			target = ds.Avails[i].ID
+			break
+		}
+	}
+	a := ds.Avails[target-1]
+	date := a.PhysicalTime(60).String()
+	var view struct {
+		AvailID    int     `json:"avail_id"`
+		TStar      float64 `json:"t_star"`
+		Final      float64 `json:"estimated_delay_days"`
+		Estimates  []any   `json:"estimates"`
+		TopDrivers []any   `json:"top_drivers"`
+	}
+	get(t, fmt.Sprintf("%s/query?avail=%d&date=%s", srv.URL, target, date), http.StatusOK, &view)
+	if view.AvailID != target {
+		t.Errorf("avail id = %d", view.AvailID)
+	}
+	if view.TStar < 55 || view.TStar > 65 {
+		t.Errorf("t* = %f, want ≈60", view.TStar)
+	}
+	if len(view.Estimates) == 0 || len(view.TopDrivers) != 5 {
+		t.Errorf("estimates %d drivers %d", len(view.Estimates), len(view.TopDrivers))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv, ds := newTestServer(t)
+	var e map[string]string
+	get(t, srv.URL+"/query?avail=xyz&date=2020-01-01", http.StatusBadRequest, &e)
+	get(t, srv.URL+"/query?avail=1&date=garbage", http.StatusBadRequest, &e)
+	get(t, srv.URL+"/query?avail=999999&date=2020-01-01", http.StatusNotFound, &e)
+	// Query before the avail started: unprocessable.
+	a := ds.Avails[0]
+	early := (a.ActStart - 100).String()
+	get(t, fmt.Sprintf("%s/query?avail=%d&date=%s", srv.URL, a.ID, early), http.StatusUnprocessableEntity, &e)
+	if e["error"] == "" {
+		t.Error("error body missing")
+	}
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t)
+	// Pick a date where at least one ongoing avail is executing.
+	var date string
+	for i := range ds.Avails {
+		if ds.Avails[i].Status.String() == "ongoing" {
+			date = ds.Avails[i].PhysicalTime(50).String()
+			break
+		}
+	}
+	var rows []struct {
+		AvailID int             `json:"avail_id"`
+		Result  json.RawMessage `json:"result"`
+		Error   string          `json:"error"`
+	}
+	get(t, srv.URL+"/fleet?date="+date, http.StatusOK, &rows)
+	if len(rows) != 3 {
+		t.Fatalf("fleet rows = %d, want 3 ongoing", len(rows))
+	}
+	answered := 0
+	for _, r := range rows {
+		if r.Error == "" && len(r.Result) > 0 {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Error("no fleet rows answered")
+	}
+	get(t, srv.URL+"/fleet?date=bad", http.StatusBadRequest, new(map[string]string))
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /query = %d, want 405", resp.StatusCode)
+	}
+}

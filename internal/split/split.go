@@ -1,0 +1,86 @@
+// Package split implements the data-split protocol of paper §5.2.1: the most
+// recent 30% of avails (by planned start date) are carved out as a test set;
+// of the remaining 70%, a random 25% forms the validation set and 75% the
+// training set.
+package split
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"domd/internal/domain"
+)
+
+// Splits holds index lists into the original avail slice.
+type Splits struct {
+	Train, Val, Test []int
+}
+
+// Config parameterizes the protocol; the zero value is invalid — use
+// DefaultConfig for the paper's settings.
+type Config struct {
+	// TestFrac is the fraction of most-recent avails held out (paper: 0.30).
+	TestFrac float64
+	// ValFrac is the fraction of the REMAINING avails used for validation
+	// (paper: 0.25).
+	ValFrac float64
+	// Seed drives the random validation draw.
+	Seed int64
+}
+
+// DefaultConfig matches §5.2.1.
+func DefaultConfig() Config { return Config{TestFrac: 0.30, ValFrac: 0.25, Seed: 1} }
+
+// Validate rejects out-of-range fractions.
+func (c Config) Validate() error {
+	if c.TestFrac <= 0 || c.TestFrac >= 1 {
+		return fmt.Errorf("split: test fraction %f outside (0,1)", c.TestFrac)
+	}
+	if c.ValFrac <= 0 || c.ValFrac >= 1 {
+		return fmt.Errorf("split: val fraction %f outside (0,1)", c.ValFrac)
+	}
+	return nil
+}
+
+// Make partitions avails per the protocol. Only closed avails participate
+// (ongoing ones have no measurable delay). Recency is by planned start date.
+func Make(cfg Config, avails []domain.Avail) (Splits, error) {
+	if err := cfg.Validate(); err != nil {
+		return Splits{}, err
+	}
+	var closed []int
+	for i := range avails {
+		if avails[i].Status == domain.StatusClosed {
+			closed = append(closed, i)
+		}
+	}
+	if len(closed) < 4 {
+		return Splits{}, fmt.Errorf("split: %d closed avails, need >= 4", len(closed))
+	}
+	// Oldest first.
+	sort.SliceStable(closed, func(a, b int) bool {
+		return avails[closed[a]].PlanStart < avails[closed[b]].PlanStart
+	})
+	nTest := int(cfg.TestFrac * float64(len(closed)))
+	if nTest < 1 {
+		nTest = 1
+	}
+	rest := append([]int(nil), closed[:len(closed)-nTest]...)
+	test := append([]int(nil), closed[len(closed)-nTest:]...)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	nVal := int(cfg.ValFrac * float64(len(rest)))
+	if nVal < 1 {
+		nVal = 1
+	}
+	if nVal >= len(rest) {
+		nVal = len(rest) - 1
+	}
+	val := append([]int(nil), rest[:nVal]...)
+	train := append([]int(nil), rest[nVal:]...)
+	sort.Ints(val)
+	sort.Ints(train)
+	return Splits{Train: train, Val: val, Test: test}, nil
+}

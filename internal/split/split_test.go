@@ -1,0 +1,162 @@
+package split
+
+import (
+	"testing"
+
+	"domd/internal/domain"
+)
+
+func makeAvails(n int) []domain.Avail {
+	avails := make([]domain.Avail, n)
+	for i := range avails {
+		start := domain.Day(i * 30)
+		avails[i] = domain.Avail{
+			ID: i, Status: domain.StatusClosed,
+			PlanStart: start, PlanEnd: start + 100,
+			ActStart: start, ActEnd: start + 110,
+		}
+	}
+	return avails
+}
+
+func TestPaperFractions(t *testing.T) {
+	avails := makeAvails(100)
+	s, err := Make(DefaultConfig(), avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Test) != 30 {
+		t.Errorf("test size = %d, want 30", len(s.Test))
+	}
+	if len(s.Val) != 17 { // 25% of 70
+		t.Errorf("val size = %d, want 17", len(s.Val))
+	}
+	if len(s.Train) != 53 {
+		t.Errorf("train size = %d, want 53", len(s.Train))
+	}
+}
+
+func TestPartitionIsDisjointAndComplete(t *testing.T) {
+	avails := makeAvails(87)
+	s, err := Make(DefaultConfig(), avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, i := range s.Train {
+		seen[i]++
+	}
+	for _, i := range s.Val {
+		seen[i]++
+	}
+	for _, i := range s.Test {
+		seen[i]++
+	}
+	if len(seen) != 87 {
+		t.Errorf("%d distinct indices, want 87", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestTestSetIsMostRecent(t *testing.T) {
+	avails := makeAvails(50)
+	s, err := Make(DefaultConfig(), avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every test avail must start no earlier than every train/val avail.
+	minTest := domain.Day(1 << 30)
+	for _, i := range s.Test {
+		if avails[i].PlanStart < minTest {
+			minTest = avails[i].PlanStart
+		}
+	}
+	for _, i := range append(append([]int(nil), s.Train...), s.Val...) {
+		if avails[i].PlanStart > minTest {
+			t.Errorf("avail %d (start %v) is newer than test minimum %v", i, avails[i].PlanStart, minTest)
+		}
+	}
+}
+
+func TestOngoingAvailsExcluded(t *testing.T) {
+	avails := makeAvails(20)
+	avails[5].Status = domain.StatusOngoing
+	avails[12].Status = domain.StatusOngoing
+	s, err := Make(DefaultConfig(), avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.Train) + len(s.Val) + len(s.Test)
+	if total != 18 {
+		t.Errorf("split covers %d avails, want 18", total)
+	}
+	for _, set := range [][]int{s.Train, s.Val, s.Test} {
+		for _, i := range set {
+			if i == 5 || i == 12 {
+				t.Errorf("ongoing avail %d included", i)
+			}
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	avails := makeAvails(40)
+	a, _ := Make(DefaultConfig(), avails)
+	b, _ := Make(DefaultConfig(), avails)
+	if len(a.Val) != len(b.Val) {
+		t.Fatal("same seed must reproduce split")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatal("same seed must reproduce split")
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c, _ := Make(cfg, avails)
+	same := len(a.Val) == len(c.Val)
+	if same {
+		for i := range a.Val {
+			if a.Val[i] != c.Val[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should shuffle validation differently")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Make(Config{TestFrac: 0, ValFrac: 0.25}, makeAvails(10)); err == nil {
+		t.Error("bad test frac: want error")
+	}
+	if _, err := Make(Config{TestFrac: 0.3, ValFrac: 1}, makeAvails(10)); err == nil {
+		t.Error("bad val frac: want error")
+	}
+	if _, err := Make(DefaultConfig(), makeAvails(3)); err == nil {
+		t.Error("too few avails: want error")
+	}
+	ongoing := makeAvails(10)
+	for i := range ongoing {
+		ongoing[i].Status = domain.StatusOngoing
+	}
+	if _, err := Make(DefaultConfig(), ongoing); err == nil {
+		t.Error("all ongoing: want error")
+	}
+}
+
+func TestTinyDatasetStillSplits(t *testing.T) {
+	s, err := Make(DefaultConfig(), makeAvails(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Test) < 1 || len(s.Val) < 1 || len(s.Train) < 1 {
+		t.Errorf("tiny split = %d/%d/%d, want all non-empty", len(s.Train), len(s.Val), len(s.Test))
+	}
+}

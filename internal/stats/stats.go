@@ -1,0 +1,239 @@
+// Package stats provides the descriptive and dependence statistics the DoMD
+// pipeline builds on: means, variances, quantiles, ranks, Pearson and
+// Spearman correlation, and a histogram estimator of mutual information.
+// All functions are NaN-safe in the sense documented per function; slices are
+// never mutated unless stated.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance, or 0 for fewer than two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of x
+// and y. It returns 0 when either series is constant (undefined correlation)
+// and an error on length mismatch or empty input.
+func Pearson(x, y []float64) (float64, error) {
+	if err := sameLen(x, y); err != nil {
+		return 0, err
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard FP drift outside [-1, 1].
+	return math.Max(-1, math.Min(1, r)), nil
+}
+
+// Ranks returns fractional ranks (1-based, ties get the average rank), the
+// convention Spearman correlation requires.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient: the Pearson
+// correlation of the fractional ranks, which handles ties correctly.
+func Spearman(x, y []float64) (float64, error) {
+	if err := sameLen(x, y); err != nil {
+		return 0, err
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// MutualInformation estimates I(X;Y) in nats using an equal-width 2D
+// histogram with the given number of bins per dimension. Degenerate
+// (constant) variables yield 0. Errors mirror Pearson's.
+func MutualInformation(x, y []float64, bins int) (float64, error) {
+	if err := sameLen(x, y); err != nil {
+		return 0, err
+	}
+	if bins < 2 {
+		return 0, fmt.Errorf("stats: mutual information needs >= 2 bins, got %d", bins)
+	}
+	n := len(x)
+	bx, okx := binIndices(x, bins)
+	by, oky := binIndices(y, bins)
+	if !okx || !oky {
+		return 0, nil // constant variable carries no information
+	}
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	py := make([]float64, bins)
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		joint[bx[i]*bins+by[i]] += inv
+		px[bx[i]] += inv
+		py[by[i]] += inv
+	}
+	mi := 0.0
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			p := joint[i*bins+j]
+			if p > 0 {
+				mi += p * math.Log(p/(px[i]*py[j]))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0 // clamp FP noise
+	}
+	return mi, nil
+}
+
+// binIndices maps values to equal-width bin indices in [0, bins). The second
+// result is false when the variable is constant.
+func binIndices(xs []float64, bins int) ([]int, bool) {
+	lo, hi := MinMax(xs)
+	if hi == lo {
+		return nil, false
+	}
+	w := (hi - lo) / float64(bins)
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		b := int((x - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[i] = b
+	}
+	return out, true
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation
+// between order statistics (the "linear" method). The input is not mutated.
+// It panics on empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %f outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram bins xs into the given number of equal-width bins between the
+// data min and max, returning counts and bin edges (len(edges) = bins+1).
+// Used to regenerate the paper's Fig. 2 delay distribution.
+func Histogram(xs []float64, bins int) (counts []int, edges []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, fmt.Errorf("stats: histogram of empty data")
+	}
+	if bins < 1 {
+		return nil, nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	lo, hi := MinMax(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	w := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}
+
+func sameLen(x, y []float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("stats: empty input")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	return nil
+}

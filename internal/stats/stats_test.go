@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %f, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %f, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %f, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("empty/singleton cases should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %f,%f want -1,7", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson = %f, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson = %f, want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed: x = [1 2 3 4], y = [1 3 2 5]
+	// sxy = 5.5, sxx = 5, syy = 8.75 => r = 5.5/sqrt(43.75) ≈ 0.83152
+	r, err := Pearson([]float64{1, 2, 3, 4}, []float64{1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.5 / math.Sqrt(43.75)
+	if !almost(r, want, 1e-12) {
+		t.Errorf("Pearson = %f, want %f", r, want)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("Pearson(const, y) = %f,%v want 0,nil", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestQuickPearsonSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		rxy, err1 := Pearson(x, y)
+		ryx, err2 := Pearson(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(rxy, ryx, 1e-12) && rxy >= -1 && rxy <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is 1 for any strictly monotone relation, even non-linear.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // non-linear but monotone
+	}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Errorf("Spearman of monotone relation = %f, want 1", r)
+	}
+	pr, _ := Pearson(x, y)
+	if pr >= 0.999 {
+		t.Errorf("Pearson of exp relation = %f; expected < 1 (sanity)", pr)
+	}
+}
+
+func TestMutualInformationIndependentVsDependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5000
+	x := make([]float64, n)
+	indep := make([]float64, n)
+	dep := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		indep[i] = rng.Float64()
+		dep[i] = x[i]*x[i] + 0.01*rng.NormFloat64()
+	}
+	miIndep, err := MutualInformation(x, indep, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miDep, err := MutualInformation(x, dep, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miDep <= miIndep*2 {
+		t.Errorf("MI(dep)=%f should clearly exceed MI(indep)=%f", miDep, miIndep)
+	}
+	if miIndep < 0 || miDep < 0 {
+		t.Error("MI must be non-negative")
+	}
+}
+
+func TestMutualInformationConstant(t *testing.T) {
+	mi, err := MutualInformation([]float64{1, 1, 1}, []float64{1, 2, 3}, 4)
+	if err != nil || mi != 0 {
+		t.Errorf("MI(const, y) = %f,%v want 0,nil", mi, err)
+	}
+}
+
+func TestMutualInformationErrors(t *testing.T) {
+	if _, err := MutualInformation([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("bins < 2: want error")
+	}
+	if _, err := MutualInformation(nil, nil, 4); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("shape: counts %d edges %d", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d, want 10", total)
+	}
+	for _, c := range counts {
+		if c != 2 {
+			t.Errorf("uniform data should give equal bins, got %v", counts)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if _, _, err := Histogram(nil, 5); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	counts, _, err := Histogram([]float64{7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("constant data histogram total = %d, want 3", total)
+	}
+}

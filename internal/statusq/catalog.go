@@ -1,0 +1,125 @@
+package statusq
+
+import (
+	"fmt"
+	"sort"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+)
+
+// Catalog manages Status Query engines for a whole avails table — the "A"
+// of Algorithm 1. It owns one Engine per avail (built lazily or eagerly) so
+// fleet-wide services answer repeated DoMD queries without re-indexing RCC
+// history on every request.
+type Catalog struct {
+	kind    index.Kind
+	avails  map[int]*domain.Avail
+	rccs    map[int][]domain.RCC
+	engines map[int]*Engine
+}
+
+// NewCatalog indexes the avails table. RCCs referencing unknown avails are
+// rejected (referential integrity, as the NMD enforces).
+func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Catalog, error) {
+	if _, err := index.New(kind); err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		kind:    kind,
+		avails:  make(map[int]*domain.Avail, len(avails)),
+		rccs:    make(map[int][]domain.RCC),
+		engines: make(map[int]*Engine),
+	}
+	for i := range avails {
+		a := &avails[i]
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.avails[a.ID]; dup {
+			return nil, fmt.Errorf("statusq: duplicate avail id %d", a.ID)
+		}
+		c.avails[a.ID] = a
+	}
+	for _, r := range rccs {
+		if _, ok := c.avails[r.AvailID]; !ok {
+			return nil, fmt.Errorf("statusq: rcc %d references unknown avail %d", r.ID, r.AvailID)
+		}
+		c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
+	}
+	return c, nil
+}
+
+// Avail returns the avail record by id.
+func (c *Catalog) Avail(id int) (*domain.Avail, bool) {
+	a, ok := c.avails[id]
+	return a, ok
+}
+
+// AvailIDs lists all avail ids in ascending order.
+func (c *Catalog) AvailIDs() []int {
+	ids := make([]int, 0, len(c.avails))
+	for id := range c.avails {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// OngoingIDs lists ids of avails still executing, ascending.
+func (c *Catalog) OngoingIDs() []int {
+	var ids []int
+	for id, a := range c.avails {
+		if a.Status == domain.StatusOngoing {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// RCCs returns the avail's RCC history (shared slice; do not mutate).
+func (c *Catalog) RCCs(id int) []domain.RCC { return c.rccs[id] }
+
+// Engine returns (building on first use) the avail's Status Query engine.
+func (c *Catalog) Engine(id int) (*Engine, error) {
+	if e, ok := c.engines[id]; ok {
+		return e, nil
+	}
+	a, ok := c.avails[id]
+	if !ok {
+		return nil, fmt.Errorf("statusq: unknown avail %d", id)
+	}
+	e, err := NewEngine(a, c.rccs[id], c.kind)
+	if err != nil {
+		return nil, err
+	}
+	c.engines[id] = e
+	return e, nil
+}
+
+// Eval answers a Status Query for one avail at logical time ts.
+func (c *Catalog) Eval(id int, ts float64, q Query) (float64, error) {
+	e, err := c.Engine(id)
+	if err != nil {
+		return 0, err
+	}
+	return e.Eval(ts, q)
+}
+
+// AddRCC appends a newly created RCC (e.g. an approved contract change) to
+// its avail, updating the live engine if one exists — the mutation path a
+// deployed SMDII back end needs as RCCs stream in.
+func (c *Catalog) AddRCC(r domain.RCC) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, ok := c.avails[r.AvailID]; !ok {
+		return fmt.Errorf("statusq: rcc %d references unknown avail %d", r.ID, r.AvailID)
+	}
+	c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
+	// Rebuild the engine lazily on next use; dropping it is simpler and
+	// safe because engines hold positional indexes into the old slice.
+	delete(c.engines, r.AvailID)
+	return nil
+}

@@ -1,0 +1,134 @@
+package statusq
+
+import (
+	"testing"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+	"domd/internal/navsim"
+)
+
+func catalogFixture(t *testing.T) (*Catalog, *navsim.Dataset) {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 15, NumOngoing: 3, MeanRCCsPerAvail: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCatalog(ds.Avails, ds.RCCs, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ds
+}
+
+func TestCatalogLookupAndIDs(t *testing.T) {
+	c, ds := catalogFixture(t)
+	if got := len(c.AvailIDs()); got != 18 {
+		t.Errorf("AvailIDs = %d, want 18", got)
+	}
+	if got := len(c.OngoingIDs()); got != 3 {
+		t.Errorf("OngoingIDs = %d, want 3", got)
+	}
+	a, ok := c.Avail(ds.Avails[0].ID)
+	if !ok || a.ID != ds.Avails[0].ID {
+		t.Error("Avail lookup failed")
+	}
+	if _, ok := c.Avail(99999); ok {
+		t.Error("lookup of unknown id succeeded")
+	}
+	// Ascending order.
+	ids := c.AvailIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ids not ascending")
+		}
+	}
+}
+
+func TestCatalogEngineCachedAndCorrect(t *testing.T) {
+	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+	e1, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("engine should be cached")
+	}
+	// Eval through the catalog equals direct engine eval.
+	q := Query{Status: domain.Created, Agg: Count}
+	got, err := c.Eval(id, 50, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e1.Eval(50, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("catalog eval %f != engine eval %f", got, want)
+	}
+	if _, err := c.Engine(99999); err == nil {
+		t.Error("engine for unknown avail: want error")
+	}
+	if _, err := c.Eval(99999, 10, q); err == nil {
+		t.Error("eval for unknown avail: want error")
+	}
+}
+
+func TestCatalogAddRCC(t *testing.T) {
+	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+	before, err := c.Eval(id, 100, Query{Status: domain.Created, Agg: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Avail(id)
+	add := domain.RCC{
+		ID: 1_000_000, AvailID: id, Type: domain.Growth,
+		SWLIN:   43411001,
+		Created: a.ActStart + 1, Settled: a.ActStart + 30, Amount: 5000,
+	}
+	if err := c.AddRCC(add); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Eval(id, 100, Query{Status: domain.Created, Agg: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+1 {
+		t.Errorf("count after AddRCC = %f, want %f", after, before+1)
+	}
+	// Errors.
+	if err := c.AddRCC(domain.RCC{ID: 2, AvailID: 99999, Created: 0, Settled: 1}); err == nil {
+		t.Error("unknown avail: want error")
+	}
+	if err := c.AddRCC(domain.RCC{ID: 3, AvailID: id, Created: 10, Settled: 5}); err == nil {
+		t.Error("invalid rcc: want error")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	avails := []domain.Avail{
+		{ID: 1, Status: domain.StatusClosed, PlanStart: 0, PlanEnd: 100, ActStart: 0, ActEnd: 100},
+		{ID: 1, Status: domain.StatusClosed, PlanStart: 0, PlanEnd: 100, ActStart: 0, ActEnd: 100},
+	}
+	if _, err := NewCatalog(avails, nil, index.KindAVL); err == nil {
+		t.Error("duplicate avail ids: want error")
+	}
+	orphan := []domain.RCC{{ID: 1, AvailID: 42, Created: 0, Settled: 1}}
+	if _, err := NewCatalog(avails[:1], orphan, index.KindAVL); err == nil {
+		t.Error("orphan rcc: want error")
+	}
+	if _, err := NewCatalog(avails[:1], nil, index.Kind("zzz")); err == nil {
+		t.Error("bad index kind: want error")
+	}
+	bad := []domain.Avail{{ID: 1, PlanStart: 10, PlanEnd: 5}}
+	if _, err := NewCatalog(bad, nil, index.KindAVL); err == nil {
+		t.Error("invalid avail: want error")
+	}
+}

@@ -1,0 +1,120 @@
+package statusq
+
+import (
+	"math"
+
+	"domd/internal/domain"
+	"domd/internal/swlin"
+)
+
+// CellStats are one-pass sufficient statistics for every aggregate the
+// feature transformation 𝒯 emits, collected per (type × subsystem) cell.
+// They merge associatively, so any union of cells (all types, whole-ship,
+// …) is computable without revisiting RCCs — the batching that makes
+// generating ~1500 features per logical timestamp affordable.
+type CellStats struct {
+	Count       int
+	SumAmount   float64
+	SumSqAmount float64
+	MaxAmount   float64
+	MinAmount   float64
+	SumDuration float64
+	MaxDuration float64
+}
+
+// Merge combines two cells.
+func (c CellStats) Merge(o CellStats) CellStats {
+	if c.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return c
+	}
+	out := CellStats{
+		Count:       c.Count + o.Count,
+		SumAmount:   c.SumAmount + o.SumAmount,
+		SumSqAmount: c.SumSqAmount + o.SumSqAmount,
+		MaxAmount:   math.Max(c.MaxAmount, o.MaxAmount),
+		MinAmount:   math.Min(c.MinAmount, o.MinAmount),
+		SumDuration: c.SumDuration + o.SumDuration,
+		MaxDuration: math.Max(c.MaxDuration, o.MaxDuration),
+	}
+	return out
+}
+
+// Aggregate evaluates one aggregate from the cell. createdTotal (the
+// |Created(t*)| denominator, see Engine.CreatedCount) and ts feed Pct and
+// Rate respectively. Empty cells evaluate to 0.
+func (c CellStats) Aggregate(agg Aggregate, createdTotal int, ts float64) float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	n := float64(c.Count)
+	switch agg {
+	case Count:
+		return n
+	case SumAmount:
+		return c.SumAmount
+	case AvgAmount:
+		return c.SumAmount / n
+	case MaxAmount:
+		return c.MaxAmount
+	case MinAmount:
+		return c.MinAmount
+	case StdAmount:
+		mean := c.SumAmount / n
+		v := c.SumSqAmount/n - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v)
+	case SumDuration:
+		return c.SumDuration
+	case AvgDuration:
+		return c.SumDuration / n
+	case MaxDuration:
+		return c.MaxDuration
+	case Pct:
+		if createdTotal == 0 {
+			return 0
+		}
+		return n / float64(createdTotal)
+	case Rate:
+		if ts <= 0 {
+			return n
+		}
+		return n / ts
+	default:
+		return 0
+	}
+}
+
+// CellStatsAt computes per-(type × subsystem) cells for one status class at
+// logical time ts in a single pass over the qualifying RCCs.
+func (e *Engine) CellStatsAt(ts float64, status domain.RCCStatus) (map[GroupKey]CellStats, error) {
+	set, err := e.statusSet(ts, status)
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[GroupKey]CellStats)
+	for _, p := range set {
+		r := &e.rccs[p]
+		k := GroupKey{Type: r.Type, Subsystem: swlin.Code(r.SWLIN).Subsystem()}
+		c := cells[k]
+		if c.Count == 0 {
+			c.MinAmount = r.Amount
+			c.MaxAmount = r.Amount
+			c.MaxDuration = float64(r.Duration())
+		} else {
+			c.MinAmount = math.Min(c.MinAmount, r.Amount)
+			c.MaxAmount = math.Max(c.MaxAmount, r.Amount)
+			c.MaxDuration = math.Max(c.MaxDuration, float64(r.Duration()))
+		}
+		c.Count++
+		c.SumAmount += r.Amount
+		c.SumSqAmount += r.Amount * r.Amount
+		c.SumDuration += float64(r.Duration())
+		cells[k] = c
+	}
+	return cells, nil
+}

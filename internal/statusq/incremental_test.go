@@ -1,0 +1,194 @@
+package statusq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+	"domd/internal/swlin"
+)
+
+func TestStatStructureMatchesFixture(t *testing.T) {
+	s, err := NewStatStructure(fixtureAvail(), fixtureRCCs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(30); err != nil { // day 30
+		t.Fatal(err)
+	}
+	all := s.Totals(nil, nil)
+	if all.ActiveCount != 3 || all.SettledCount != 1 {
+		t.Errorf("@30%%: active %d settled %d, want 3/1", all.ActiveCount, all.SettledCount)
+	}
+	if math.Abs(all.ActiveSumAmount-700) > 1e-9 {
+		t.Errorf("active sum = %f, want 700", all.ActiveSumAmount)
+	}
+	if math.Abs(all.SettledSumAmount-800) > 1e-9 {
+		t.Errorf("settled sum = %f, want 800", all.SettledSumAmount)
+	}
+	if math.Abs(all.SettledSumDuration-10) > 1e-9 {
+		t.Errorf("settled duration = %f, want 10", all.SettledSumDuration)
+	}
+	if all.CreatedCount() != 4 {
+		t.Errorf("created = %d, want 4", all.CreatedCount())
+	}
+
+	g := domain.Growth
+	growth := s.Totals(&g, nil)
+	if growth.ActiveCount != 2 || growth.SettledCount != 0 {
+		t.Errorf("growth: %+v", growth)
+	}
+	sub4 := 4
+	hull := s.Totals(nil, &sub4)
+	if hull.ActiveCount != 2 || hull.SettledCount != 1 {
+		t.Errorf("subsystem 4: %+v", hull)
+	}
+	cell := s.Group(GroupKey{Type: domain.NewWork, Subsystem: 9})
+	if cell.ActiveCount != 1 || cell.ActiveSumAmount != 400 {
+		t.Errorf("NW/9 cell: %+v", cell)
+	}
+	if z := s.Group(GroupKey{Type: domain.Growth, Subsystem: 7}); z != (GroupStats{}) {
+		t.Errorf("absent cell should be zero: %+v", z)
+	}
+}
+
+func TestStatStructureForwardOnly(t *testing.T) {
+	s, err := NewStatStructure(fixtureAvail(), fixtureRCCs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(20); err == nil {
+		t.Error("backward sweep: want error")
+	}
+	s.Reset()
+	if err := s.AdvanceTo(20); err != nil {
+		t.Errorf("advance after reset: %v", err)
+	}
+}
+
+func TestStatStructureIdempotentAdvance(t *testing.T) {
+	s, err := NewStatStructure(fixtureAvail(), fixtureRCCs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Totals(nil, nil)
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	if s.Totals(nil, nil) != before {
+		t.Error("re-advancing to same position must be a no-op")
+	}
+}
+
+// TestIncrementalMatchesDirect sweeps random data over the logical timeline
+// and cross-checks every additive aggregate against the index-based engine,
+// at every step and for every group filter.
+func TestIncrementalMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := &domain.Avail{ID: 3, Status: domain.StatusClosed,
+		PlanStart: 100, PlanEnd: 400, ActStart: 110, ActEnd: 520}
+	var rccs []domain.RCC
+	for i := 0; i < 500; i++ {
+		created := a.ActStart + domain.Day(rng.Intn(400))
+		sub := rng.Intn(10)
+		code, err := swlin.FromParts(sub*100+11, 11, 1+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rccs = append(rccs, domain.RCC{
+			ID: i + 1, AvailID: 3,
+			Type:    domain.RCCType(rng.Intn(domain.NumRCCTypes)),
+			SWLIN:   int(code),
+			Created: created,
+			Settled: created + domain.Day(rng.Intn(150)),
+			Amount:  10 + float64(rng.Intn(50000)),
+		})
+	}
+	e, err := NewEngine(a, rccs, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStatStructure(a, rccs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 0.0; ts <= 140; ts += 7 {
+		if err := s.AdvanceTo(ts); err != nil {
+			t.Fatal(err)
+		}
+		for typ := -1; typ < domain.NumRCCTypes; typ++ {
+			var typPtr *domain.RCCType
+			var qTyp *domain.RCCType
+			if typ >= 0 {
+				tv := domain.RCCType(typ)
+				typPtr, qTyp = &tv, &tv
+			}
+			for sub := -1; sub < 10; sub++ {
+				var subPtr *int
+				var prefix []int
+				if sub >= 0 {
+					sv := sub
+					subPtr = &sv
+					prefix = []int{sub}
+				}
+				inc := s.Totals(typPtr, subPtr)
+				activeCount, err := e.Eval(ts, Query{Type: qTyp, SWLINPrefix: prefix, Status: domain.Active, Agg: Count})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if float64(inc.ActiveCount) != activeCount {
+					t.Fatalf("ts=%g typ=%d sub=%d: active count inc=%d direct=%f", ts, typ, sub, inc.ActiveCount, activeCount)
+				}
+				settledSum, _ := e.Eval(ts, Query{Type: qTyp, SWLINPrefix: prefix, Status: domain.SettledStatus, Agg: SumAmount})
+				if math.Abs(inc.SettledSumAmount-settledSum) > 1e-6 {
+					t.Fatalf("ts=%g typ=%d sub=%d: settled sum inc=%f direct=%f", ts, typ, sub, inc.SettledSumAmount, settledSum)
+				}
+				activeSum, _ := e.Eval(ts, Query{Type: qTyp, SWLINPrefix: prefix, Status: domain.Active, Agg: SumAmount})
+				if math.Abs(inc.ActiveSumAmount-activeSum) > 1e-6 {
+					t.Fatalf("ts=%g typ=%d sub=%d: active sum inc=%f direct=%f", ts, typ, sub, inc.ActiveSumAmount, activeSum)
+				}
+				settledDur, _ := e.Eval(ts, Query{Type: qTyp, SWLINPrefix: prefix, Status: domain.SettledStatus, Agg: SumDuration})
+				if math.Abs(inc.SettledSumDuration-settledDur) > 1e-6 {
+					t.Fatalf("ts=%g typ=%d sub=%d: settled dur inc=%f direct=%f", ts, typ, sub, inc.SettledSumDuration, settledDur)
+				}
+			}
+		}
+	}
+}
+
+func TestStatStructureValidation(t *testing.T) {
+	if _, err := NewStatStructure(nil, nil); err == nil {
+		t.Error("nil avail: want error")
+	}
+	flat := &domain.Avail{ID: 1, PlanStart: 5, PlanEnd: 5}
+	if _, err := NewStatStructure(flat, nil); err == nil {
+		t.Error("flat plan: want error")
+	}
+	wrong := fixtureRCCs(t)
+	wrong[0].AvailID = 42
+	if _, err := NewStatStructure(fixtureAvail(), wrong); err == nil {
+		t.Error("foreign rcc: want error")
+	}
+	bad := fixtureRCCs(t)
+	bad[0].Settled = bad[0].Created - 1
+	if _, err := NewStatStructure(fixtureAvail(), bad); err == nil {
+		t.Error("invalid rcc: want error")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	if Count.String() != "COUNT" || AvgAmount.String() != "AVG_SETTLED_AMT" {
+		t.Error("aggregate names wrong")
+	}
+	if Aggregate(99).String() == "" {
+		t.Error("out-of-range aggregate should still print")
+	}
+}

@@ -1,0 +1,270 @@
+// Package statusq implements the Status Query abstraction of paper §3.1 and
+// its efficient processing (§4, Algorithm StatusQ): given an avail, a logical
+// timestamp t*, group-by predicates over RCC type and SWLIN hierarchy, and a
+// status class (active / settled / created / new), retrieve the qualifying
+// RCCs and compute aggregates over their attributes.
+//
+// The engine composes three structures, as Algorithm 1 does:
+//
+//   - a type group-by tree (the RCC-Type-Tree 𝒯: one bucket per RCC type),
+//   - a SWLIN digit trie (𝒮𝒯, from package swlin),
+//   - a pluggable logical-time index ℛ (package index) over the RCC
+//     (created, settled) intervals.
+//
+// StatStructure provides the incremental computation of §4.3: advancing from
+// one logical timestamp to the next touches only the creation/settlement
+// events inside the new window instead of re-running the query from scratch.
+package statusq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+	"domd/internal/swlin"
+)
+
+// Aggregate names an aggregation function applied to the retrieved RCC set.
+type Aggregate int
+
+// Aggregates over the qualifying RCC set. Duration aggregates consider the
+// full created→settled interval (known at settlement); Pct is the group's
+// share of all RCCs of the avail; Rate is count per percent of logical time.
+const (
+	Count Aggregate = iota
+	SumAmount
+	AvgAmount
+	MaxAmount
+	MinAmount
+	StdAmount
+	SumDuration
+	AvgDuration
+	MaxDuration
+	Pct
+	Rate
+
+	// NumAggregates counts the aggregate kinds above.
+	NumAggregates = 11
+)
+
+var aggNames = [...]string{
+	"COUNT", "SUM_SETTLED_AMT", "AVG_SETTLED_AMT", "MAX_SETTLED_AMT",
+	"MIN_SETTLED_AMT", "STD_SETTLED_AMT", "SUM_DUR", "AVG_DUR", "MAX_DUR",
+	"PCT", "RATE",
+}
+
+// String implements fmt.Stringer.
+func (a Aggregate) String() string {
+	if a < 0 || int(a) >= len(aggNames) {
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+	return aggNames[a]
+}
+
+// Query is one Status Query (Fig. 3): group-by predicates plus a status
+// class and an aggregate.
+type Query struct {
+	// Type restricts to one RCC type; nil means all types.
+	Type *domain.RCCType
+	// SWLINPrefix restricts to a subtree of the SWLIN hierarchy (leading
+	// digits); nil means the whole ship.
+	SWLINPrefix []int
+	// Status selects the temporal class at t*.
+	Status domain.RCCStatus
+	// Agg is the aggregation applied to the qualifying set.
+	Agg Aggregate
+}
+
+// Engine answers Status Queries for one avail.
+type Engine struct {
+	avail *domain.Avail
+	rccs  []domain.RCC
+	// typeGroups maps RCCType -> member positions (into rccs).
+	typeGroups [domain.NumRCCTypes][]int
+	swlinTree  *swlin.Tree
+	timeIdx    index.TimeIndex
+}
+
+// NewEngine indexes the RCCs of avail a with the chosen time-index design.
+// Every RCC must belong to a.
+func NewEngine(a *domain.Avail, rccs []domain.RCC, kind index.Kind) (*Engine, error) {
+	if a == nil {
+		return nil, fmt.Errorf("statusq: nil avail")
+	}
+	if a.PlannedDuration() <= 0 {
+		return nil, fmt.Errorf("statusq: avail %d has non-positive planned duration", a.ID)
+	}
+	e := &Engine{avail: a, rccs: rccs, swlinTree: swlin.NewTree()}
+	idx, err := index.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	e.timeIdx = idx
+	for pos := range rccs {
+		r := &rccs[pos]
+		if r.AvailID != a.ID {
+			return nil, fmt.Errorf("statusq: rcc %d belongs to avail %d, engine is for %d", r.ID, r.AvailID, a.ID)
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		e.typeGroups[r.Type] = append(e.typeGroups[r.Type], pos)
+		if err := e.swlinTree.Insert(swlin.Code(r.SWLIN), pos); err != nil {
+			return nil, err
+		}
+		if err := e.timeIdx.Insert(index.Interval{
+			Start: int64(r.Created), End: int64(r.Settled), ID: pos,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Avail returns the engine's avail.
+func (e *Engine) Avail() *domain.Avail { return e.avail }
+
+// NumRCCs reports the indexed RCC count.
+func (e *Engine) NumRCCs() int { return len(e.rccs) }
+
+// statusSet retrieves the positions in the given temporal class at logical
+// time ts (Eqs. 3–5).
+func (e *Engine) statusSet(ts float64, status domain.RCCStatus) ([]int, error) {
+	day := int64(e.avail.PhysicalTime(ts))
+	switch status {
+	case domain.Active:
+		return e.timeIdx.ActiveAt(day), nil
+	case domain.SettledStatus:
+		return e.timeIdx.SettledBy(day), nil
+	case domain.Created:
+		return e.timeIdx.CreatedBy(day), nil
+	default:
+		return nil, fmt.Errorf("statusq: unknown status %v", status)
+	}
+}
+
+// Retrieve runs the retrieval part of Algorithm StatusQ: the temporal class
+// at ts intersected with the group-by subtrees. The returned positions index
+// into the engine's RCC slice, in ascending order.
+func (e *Engine) Retrieve(ts float64, q Query) ([]int, error) {
+	timeSet, err := e.statusSet(ts, q.Status)
+	if err != nil {
+		return nil, err
+	}
+	if len(timeSet) == 0 {
+		return nil, nil
+	}
+	// Group-By(𝒯, 𝒮𝒯): the candidate subtree of Algorithm 1.
+	member := make(map[int]bool, len(timeSet))
+	for _, p := range timeSet {
+		member[p] = true
+	}
+	var candidates []int
+	switch {
+	case q.Type == nil && q.SWLINPrefix == nil:
+		candidates = timeSet
+	case q.SWLINPrefix == nil:
+		candidates = e.typeGroups[*q.Type]
+	default:
+		candidates = e.swlinTree.Group(q.SWLINPrefix)
+	}
+	var out []int
+	for _, p := range candidates {
+		if !member[p] {
+			continue
+		}
+		if q.Type != nil && e.rccs[p].Type != *q.Type {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// CreatedCount returns |Created(t*)|, the Pct denominator. Using the
+// RCCs visible by t* (rather than the avail's all-time total) keeps the
+// features causal: information from RCCs not yet created never leaks into
+// earlier logical timestamps.
+func (e *Engine) CreatedCount(ts float64) int {
+	day := int64(e.avail.PhysicalTime(ts))
+	return e.timeIdx.CountActiveAt(day) + e.timeIdx.CountSettledBy(day)
+}
+
+// Eval runs the full Status Query: retrieval plus aggregation. Empty result
+// sets evaluate to 0 for every aggregate.
+func (e *Engine) Eval(ts float64, q Query) (float64, error) {
+	set, err := e.Retrieve(ts, q)
+	if err != nil {
+		return 0, err
+	}
+	return e.aggregate(ts, q, set), nil
+}
+
+func (e *Engine) aggregate(ts float64, q Query, set []int) float64 {
+	n := float64(len(set))
+	if len(set) == 0 {
+		return 0
+	}
+	switch q.Agg {
+	case Count:
+		return n
+	case Pct:
+		created := e.CreatedCount(ts)
+		if created == 0 {
+			return 0
+		}
+		return n / float64(created)
+	case Rate:
+		if ts <= 0 {
+			return n
+		}
+		return n / ts
+	}
+	var sumA, maxA, minA, sumSqA float64
+	var sumD, maxD float64
+	minA = math.Inf(1)
+	for _, p := range set {
+		r := &e.rccs[p]
+		sumA += r.Amount
+		sumSqA += r.Amount * r.Amount
+		if r.Amount > maxA {
+			maxA = r.Amount
+		}
+		if r.Amount < minA {
+			minA = r.Amount
+		}
+		d := float64(r.Duration())
+		sumD += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	switch q.Agg {
+	case SumAmount:
+		return sumA
+	case AvgAmount:
+		return sumA / n
+	case MaxAmount:
+		return maxA
+	case MinAmount:
+		return minA
+	case StdAmount:
+		mean := sumA / n
+		v := sumSqA/n - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v)
+	case SumDuration:
+		return sumD
+	case AvgDuration:
+		return sumD / n
+	case MaxDuration:
+		return maxD
+	default:
+		return 0
+	}
+}

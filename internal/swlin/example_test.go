@@ -1,0 +1,32 @@
+package swlin_test
+
+import (
+	"fmt"
+
+	"domd/internal/swlin"
+)
+
+func ExampleParse() {
+	code, err := swlin.Parse("434-11-001")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(code.Subsystem(), code.Prefix(3), code)
+	// Output: 4 434 434-11-001
+}
+
+func ExampleTree_Group() {
+	tree := swlin.NewTree()
+	for i, s := range []string{"434-11-001", "434-22-001", "911-90-001"} {
+		code, err := swlin.Parse(s)
+		if err != nil {
+			panic(err)
+		}
+		if err := tree.Insert(code, i); err != nil {
+			panic(err)
+		}
+	}
+	// All RCCs in subsystem 4 (hull structure).
+	fmt.Println(tree.Group([]int{4}))
+	// Output: [0 1]
+}

@@ -1,0 +1,244 @@
+// Package table persists the two NMD tables — avails and RCCs — as CSV, the
+// interchange format the framework's deployment story requires (the pipeline
+// trains on an obfuscated export, then retrains on raw tables inside the
+// Navy environment). Columns mirror the paper's Tables 1 and 3.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"domd/internal/domain"
+	"domd/internal/swlin"
+)
+
+var availHeader = []string{
+	"avail_id", "ship_id", "status", "plan_start", "plan_end",
+	"actual_start", "actual_end",
+	"ship_class", "rmc", "ship_age", "planned_cost", "crew_size",
+	"prior_avails", "dock_type", "homeport_dist",
+}
+
+// WriteAvails streams the avail table as CSV.
+func WriteAvails(w io.Writer, avails []domain.Avail) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(availHeader); err != nil {
+		return fmt.Errorf("table: write avail header: %w", err)
+	}
+	for i := range avails {
+		a := &avails[i]
+		actEnd := ""
+		if a.Status == domain.StatusClosed {
+			actEnd = a.ActEnd.String()
+		}
+		rec := []string{
+			strconv.Itoa(a.ID),
+			strconv.Itoa(a.ShipID),
+			a.Status.String(),
+			a.PlanStart.String(),
+			a.PlanEnd.String(),
+			a.ActStart.String(),
+			actEnd,
+			strconv.Itoa(a.ShipClass),
+			strconv.Itoa(a.RMC),
+			strconv.FormatFloat(a.ShipAge, 'g', -1, 64),
+			strconv.FormatFloat(a.PlannedCost, 'g', -1, 64),
+			strconv.Itoa(a.CrewSize),
+			strconv.Itoa(a.PriorAvails),
+			strconv.Itoa(a.DockType),
+			strconv.FormatFloat(a.HomeportDist, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: write avail %d: %w", a.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadAvails parses a CSV written by WriteAvails.
+func ReadAvails(r io.Reader) ([]domain.Avail, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read avails: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table: empty avail csv")
+	}
+	if err := checkHeader(rows[0], availHeader); err != nil {
+		return nil, err
+	}
+	avails := make([]domain.Avail, 0, len(rows)-1)
+	for n, rec := range rows[1:] {
+		a, err := parseAvail(rec)
+		if err != nil {
+			return nil, fmt.Errorf("table: avail row %d: %w", n+2, err)
+		}
+		avails = append(avails, a)
+	}
+	return avails, nil
+}
+
+func parseAvail(rec []string) (domain.Avail, error) {
+	var a domain.Avail
+	if len(rec) != len(availHeader) {
+		return a, fmt.Errorf("%d fields, want %d", len(rec), len(availHeader))
+	}
+	var err error
+	if a.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return a, fmt.Errorf("avail_id: %w", err)
+	}
+	if a.ShipID, err = strconv.Atoi(rec[1]); err != nil {
+		return a, fmt.Errorf("ship_id: %w", err)
+	}
+	switch rec[2] {
+	case "ongoing":
+		a.Status = domain.StatusOngoing
+	case "closed":
+		a.Status = domain.StatusClosed
+	default:
+		return a, fmt.Errorf("unknown status %q", rec[2])
+	}
+	if a.PlanStart, err = domain.ParseDay(rec[3]); err != nil {
+		return a, err
+	}
+	if a.PlanEnd, err = domain.ParseDay(rec[4]); err != nil {
+		return a, err
+	}
+	if a.ActStart, err = domain.ParseDay(rec[5]); err != nil {
+		return a, err
+	}
+	if a.Status == domain.StatusClosed {
+		if a.ActEnd, err = domain.ParseDay(rec[6]); err != nil {
+			return a, err
+		}
+	} else if rec[6] != "" {
+		return a, fmt.Errorf("ongoing avail has actual_end %q", rec[6])
+	}
+	if a.ShipClass, err = strconv.Atoi(rec[7]); err != nil {
+		return a, fmt.Errorf("ship_class: %w", err)
+	}
+	if a.RMC, err = strconv.Atoi(rec[8]); err != nil {
+		return a, fmt.Errorf("rmc: %w", err)
+	}
+	if a.ShipAge, err = strconv.ParseFloat(rec[9], 64); err != nil {
+		return a, fmt.Errorf("ship_age: %w", err)
+	}
+	if a.PlannedCost, err = strconv.ParseFloat(rec[10], 64); err != nil {
+		return a, fmt.Errorf("planned_cost: %w", err)
+	}
+	if a.CrewSize, err = strconv.Atoi(rec[11]); err != nil {
+		return a, fmt.Errorf("crew_size: %w", err)
+	}
+	if a.PriorAvails, err = strconv.Atoi(rec[12]); err != nil {
+		return a, fmt.Errorf("prior_avails: %w", err)
+	}
+	if a.DockType, err = strconv.Atoi(rec[13]); err != nil {
+		return a, fmt.Errorf("dock_type: %w", err)
+	}
+	if a.HomeportDist, err = strconv.ParseFloat(rec[14], 64); err != nil {
+		return a, fmt.Errorf("homeport_dist: %w", err)
+	}
+	return a, a.Validate()
+}
+
+var rccHeader = []string{
+	"rcc_id", "avail_id", "type", "workspec", "creation_date", "settled_date", "amount",
+}
+
+// WriteRCCs streams the RCC table as CSV, formatting SWLINs in the paper's
+// "434-11-001" style.
+func WriteRCCs(w io.Writer, rccs []domain.RCC) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rccHeader); err != nil {
+		return fmt.Errorf("table: write rcc header: %w", err)
+	}
+	for i := range rccs {
+		r := &rccs[i]
+		rec := []string{
+			strconv.Itoa(r.ID),
+			strconv.Itoa(r.AvailID),
+			r.Type.String(),
+			swlin.Code(r.SWLIN).String(),
+			r.Created.String(),
+			r.Settled.String(),
+			strconv.FormatFloat(r.Amount, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: write rcc %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRCCs parses a CSV written by WriteRCCs.
+func ReadRCCs(r io.Reader) ([]domain.RCC, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read rccs: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table: empty rcc csv")
+	}
+	if err := checkHeader(rows[0], rccHeader); err != nil {
+		return nil, err
+	}
+	rccs := make([]domain.RCC, 0, len(rows)-1)
+	for n, rec := range rows[1:] {
+		rcc, err := parseRCC(rec)
+		if err != nil {
+			return nil, fmt.Errorf("table: rcc row %d: %w", n+2, err)
+		}
+		rccs = append(rccs, rcc)
+	}
+	return rccs, nil
+}
+
+func parseRCC(rec []string) (domain.RCC, error) {
+	var r domain.RCC
+	if len(rec) != len(rccHeader) {
+		return r, fmt.Errorf("%d fields, want %d", len(rec), len(rccHeader))
+	}
+	var err error
+	if r.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return r, fmt.Errorf("rcc_id: %w", err)
+	}
+	if r.AvailID, err = strconv.Atoi(rec[1]); err != nil {
+		return r, fmt.Errorf("avail_id: %w", err)
+	}
+	if r.Type, err = domain.ParseRCCType(rec[2]); err != nil {
+		return r, err
+	}
+	code, err := swlin.Parse(rec[3])
+	if err != nil {
+		return r, err
+	}
+	r.SWLIN = int(code)
+	if r.Created, err = domain.ParseDay(rec[4]); err != nil {
+		return r, err
+	}
+	if r.Settled, err = domain.ParseDay(rec[5]); err != nil {
+		return r, err
+	}
+	if r.Amount, err = strconv.ParseFloat(rec[6], 64); err != nil {
+		return r, fmt.Errorf("amount: %w", err)
+	}
+	return r, r.Validate()
+}
+
+func checkHeader(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("table: header has %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("table: header column %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
+}
