@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector — the gate for the
+# parallel tensor-build path.
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: compile, vet, race-test everything.
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

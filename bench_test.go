@@ -11,10 +11,12 @@ package domd_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"domd/internal/core"
+	"domd/internal/domain"
 	"domd/internal/experiments"
 	"domd/internal/featsel"
 	"domd/internal/features"
@@ -394,6 +396,170 @@ func BenchmarkFeatureExtractionPerAvailTimestamp(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := ext.Vector(eng, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// table5Data caches the Table-5-scale dataset (≈200 avails × 53k RCCs) the
+// tensor-build benchmarks share.
+var (
+	table5Once sync.Once
+	table5Data *navsim.Dataset
+)
+
+func table5ScaleData(b *testing.B) *navsim.Dataset {
+	b.Helper()
+	table5Once.Do(func() {
+		ds, err := navsim.Generate(navsim.Config{
+			NumClosed: 200, NumOngoing: 0, MeanRCCsPerAvail: 265, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		table5Data = ds
+	})
+	return table5Data
+}
+
+// BenchmarkBuildTensorSerialVsParallel measures the full feature-tensor
+// build (transformation 𝒯) at the paper's Table-5 scale with gap x=5:
+// the pre-sweep from-scratch reference, the incremental sweep on one
+// worker, and the sweep fanned over GOMAXPROCS workers.
+func BenchmarkBuildTensorSerialVsParallel(b *testing.B) {
+	ds := table5ScaleData(b)
+	byAvail := ds.RCCsByAvail()
+	ext := features.NewExtractor()
+	const gap = 5.0
+	b.Logf("avails=%d rccs=%d gomaxprocs=%d", len(ds.Avails), len(ds.RCCs), runtime.GOMAXPROCS(0))
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := features.BuildTensorScratch(ext, ds.Avails, byAvail, gap, index.KindAVL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := features.BuildTensorOpt(ext, ds.Avails, byAvail, gap, index.KindAVL, features.TensorOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := features.BuildTensorOpt(ext, ds.Avails, byAvail, gap, index.KindAVL, features.TensorOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// bigAvailFixture builds one avail holding n synthetic RCCs for the
+// per-avail sweep benchmarks.
+func bigAvailFixture(b *testing.B, n int) (*domain.Avail, []domain.RCC) {
+	b.Helper()
+	rng := benchRand(uint64(n))
+	a := &domain.Avail{ID: 1, Status: domain.StatusClosed,
+		PlanStart: 0, PlanEnd: 400, ActStart: 0, ActEnd: 480}
+	rccs := make([]domain.RCC, n)
+	for i := range rccs {
+		created := domain.Day(rng.next() % 450)
+		rccs[i] = domain.RCC{
+			ID: i + 1, AvailID: 1,
+			Type:    domain.RCCType(rng.next() % domain.NumRCCTypes),
+			SWLIN:   int(rng.next() % 100_000_000),
+			Created: created,
+			Settled: created + domain.Day(rng.next()%90),
+			Amount:  float64(rng.next()%1_000_000) / 10,
+		}
+	}
+	return a, rccs
+}
+
+// benchRand is a tiny deterministic PRNG (splitmix64) so fixture cost stays
+// negligible at large n.
+type splitmix struct{ s uint64 }
+
+func benchRand(seed uint64) *splitmix { return &splitmix{s: seed*0x9E3779B97F4A7C15 + 1} }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// BenchmarkCellSweepVsScratch isolates the Status Query state maintenance
+// behind one avail's timestamp grid (x=5 ⇒ 21 points): from-scratch dense
+// grid fills versus one incremental CellSweep advanced across the grid. The
+// scratch cost grows with total RCCs at every grid point; the sweep's
+// per-advance cost tracks only the events inside each window (plus the live
+// active set), so doubling n roughly doubles the whole-grid sweep time while
+// the scratch path pays the doubling at all 21 points.
+func BenchmarkCellSweepVsScratch(b *testing.B) {
+	grid := features.TimestampGrid(5)
+	for _, n := range []int{8_000, 32_000} {
+		a, rccs := bigAvailFixture(b, n)
+		b.Run(fmt.Sprintf("scratch/n=%d", n), func(b *testing.B) {
+			eng, err := statusq.NewEngine(a, rccs, index.KindAVL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var gs statusq.GridSet
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, ts := range grid {
+					if err := eng.CellGridsAt(ts, &gs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sweep/n=%d", n), func(b *testing.B) {
+			sw, err := statusq.NewCellSweep(a, rccs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sw.Reset()
+				for _, ts := range grid {
+					if err := sw.AdvanceTo(ts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicVectorInto verifies the zero-allocation contract of the
+// sweep-backed feature evaluation: advancing plus evaluating all 1452
+// generated features must allocate nothing beyond the caller's dst.
+func BenchmarkDynamicVectorInto(b *testing.B) {
+	a, rccs := bigAvailFixture(b, 8_000)
+	ext := features.NewExtractor()
+	sw, err := statusq.NewCellSweep(a, rccs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := features.TimestampGrid(5)
+	dst := make([]float64, ext.NumDynamic())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := i % len(grid)
+		if k == 0 {
+			sw.Reset()
+		}
+		if err := ext.DynamicVectorInto(dst, sw, grid[k]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,7 +22,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	exp := flag.String("exp", "all", "artifact id: fig2 table5 fig5a fig5b fig5c table6 fig6a fig6b fig6c fig6d fig6e fig6f table7, or all")
+	exp := flag.String("exp", "all", "artifact id: fig2 table5 fig5a fig5b fig5c table6 tensor fig6a fig6b fig6c fig6d fig6e fig6f table7, or all")
+	workers := flag.Int("workers", 0, "tensor-build worker pool size (0 = GOMAXPROCS)")
 	quick := flag.Bool("quick", false, "reduced dataset and grids (minutes → seconds)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	flag.Parse()
@@ -93,6 +94,25 @@ func main() {
 		}
 	}
 
+	// --- Tensor-build scalability (extension: the Fig. 5 protocol applied
+	// to the full feature transformation 𝒯 instead of raw index sweeps).
+	if want("tensor") {
+		ds, err := navsim.Generate(dataCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		factors := scaleFactors
+		if len(factors) > 3 && !*quick {
+			factors = factors[:3] // scratch reference is quadratic-ish; cap the sweep
+		}
+		ms, err := experiments.RunTensorScalability(ds, factors, gap, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.TensorScaleTable(ms))
+		ran = true
+	}
+
 	// --- Modeling artifacts (the two ablation-* ids are extensions beyond
 	// the paper; "all" includes them).
 	modeling := []string{"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6f-ext", "ablation-stacking", "table7"}
@@ -145,7 +165,7 @@ func main() {
 	}
 
 	if !ran {
-		log.Fatalf("unknown experiment %q (valid: fig2 table5 fig5a fig5b fig5c table6 %s all)",
+		log.Fatalf("unknown experiment %q (valid: fig2 table5 fig5a fig5b fig5c table6 tensor %s all)",
 			*exp, strings.Join(modeling, " "))
 	}
 }

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"domd/internal/domain"
+	"domd/internal/features"
 	"domd/internal/index"
 	"domd/internal/navsim"
 	"domd/internal/swlin"
@@ -116,6 +118,91 @@ func RunScalability(base *navsim.Dataset, factors []int, gridStep float64) ([]Sc
 		}
 	}
 	return out, nil
+}
+
+// TensorScaleMeasurement is one scale-factor row of the feature-tensor
+// build study: the full 𝒯 materialization (every avail × every grid
+// timestamp × 1460 features) under the three build strategies.
+type TensorScaleMeasurement struct {
+	Factor    int
+	NumRCCs   int
+	NumAvails int
+	// Scratch is the pre-sweep reference: per-avail engine, every
+	// timestamp recomputed from the index, serial.
+	Scratch time.Duration
+	// SweepSerial is the incremental CellSweep path on one worker.
+	SweepSerial time.Duration
+	// SweepParallel is the CellSweep path fanned over the worker pool.
+	SweepParallel time.Duration
+	Workers       int
+}
+
+// RunTensorScalability measures the end-to-end tensor build (the
+// transformation 𝒯 the whole modeling pipeline funnels through) at every
+// scale factor, for the from-scratch reference path, the incremental sweep
+// on a single worker, and the sweep fanned over workers (<= 0 selects
+// GOMAXPROCS). gridStep is the t* spacing x.
+func RunTensorScalability(base *navsim.Dataset, factors []int, gridStep float64, workers int) ([]TensorScaleMeasurement, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ext := features.NewExtractor()
+	var out []TensorScaleMeasurement
+	for _, f := range factors {
+		scaled, err := navsim.Scale(base, f)
+		if err != nil {
+			return nil, err
+		}
+		byAvail := scaled.RCCsByAvail()
+		m := TensorScaleMeasurement{Factor: f, NumRCCs: len(scaled.RCCs), Workers: workers}
+
+		start := time.Now()
+		tRef, err := features.BuildTensorScratch(ext, scaled.Avails, byAvail, gridStep, index.KindAVL)
+		if err != nil {
+			return nil, err
+		}
+		m.Scratch = time.Since(start)
+		m.NumAvails = tRef.NumAvails()
+
+		start = time.Now()
+		if _, err := features.BuildTensorOpt(ext, scaled.Avails, byAvail, gridStep, index.KindAVL, features.TensorOptions{Workers: 1}); err != nil {
+			return nil, err
+		}
+		m.SweepSerial = time.Since(start)
+
+		start = time.Now()
+		if _, err := features.BuildTensorOpt(ext, scaled.Avails, byAvail, gridStep, index.KindAVL, features.TensorOptions{Workers: workers}); err != nil {
+			return nil, err
+		}
+		m.SweepParallel = time.Since(start)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// TensorScaleTable renders the tensor-build study in the Fig. 5 style.
+func TensorScaleTable(ms []TensorScaleMeasurement) *Table {
+	t := &Table{
+		ID:     "tensor",
+		Title:  "Feature-tensor build time (ms) vs RCC scale: scratch vs incremental sweep vs parallel sweep",
+		Header: []string{"scale", "#rccs", "#avails", "scratch_serial", "sweep_serial", "sweep_parallel", "speedup"},
+	}
+	for _, m := range ms {
+		speedup := 0.0
+		if m.SweepParallel > 0 {
+			speedup = float64(m.Scratch) / float64(m.SweepParallel)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", m.Factor),
+			fmt.Sprintf("%d", m.NumRCCs),
+			fmt.Sprintf("%d", m.NumAvails),
+			f2(float64(m.Scratch.Microseconds()) / 1000),
+			f2(float64(m.SweepSerial.Microseconds()) / 1000),
+			f2(float64(m.SweepParallel.Microseconds()) / 1000),
+			f2(speedup),
+		})
+	}
+	return t
 }
 
 // GroupAgg accumulates the Fig. 3 measures per (type × subsystem) group.

@@ -16,13 +16,22 @@
 // ship age, planning attributes, …) and are always included; feature
 // selection applies only to generated features (§3.2.1).
 //
+// Every generated feature resolves to exactly one cell of the dense
+// statusq.GridSet (the ALL selections hit the grid margins), so a full
+// 1452-feature evaluation is a flat loop of array reads with no map lookups
+// and no allocations beyond the caller's output slice.
+//
 // Across avails and logical timestamps the output forms the paper's
-// (avail × feature × t*) tensor; Tensor materializes the slices each
-// per-timestamp model trains on.
+// (avail × feature × t*) tensor; BuildTensor materializes the slices each
+// per-timestamp model trains on, fanning avails out over a worker pool and
+// advancing one incremental statusq.CellSweep per avail across the
+// timestamp grid (§4.3) instead of recomputing each timestamp from scratch.
 package features
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"domd/internal/domain"
 	"domd/internal/index"
@@ -64,11 +73,23 @@ var StaticNames = []string{
 // NumStatic is the static feature count.
 const NumStatic = 8
 
+// gridGroup is the compiled form of one (status × type × subsystem)
+// selection: the grid cell its 11 aggregates are read from, resolved once
+// at registry construction. The registry emits the aggregates of a
+// selection consecutively in Aggregate order, so evaluation batches all 11
+// from a single cell load.
+type gridGroup struct {
+	status domain.RCCStatus
+	typ    int8 // grid row (statusq.TypeAll for ALL)
+	sub    int8 // grid column (statusq.SubsystemAll for ALL)
+}
+
 // Extractor holds the generated-feature registry. It is immutable and safe
 // for concurrent use.
 type Extractor struct {
-	specs []Spec
-	names []string
+	specs  []Spec
+	names  []string
+	groups []gridGroup // groups[g] covers specs[g*NumAggregates : (g+1)*NumAggregates]
 }
 
 var rccTypes = []domain.RCCType{domain.Growth, domain.NewWork, domain.NewGrowth}
@@ -84,6 +105,14 @@ func NewExtractor() *Extractor {
 				typ = &rccTypes[t]
 			}
 			for sub := -1; sub < 10; sub++ {
+				g := gridGroup{status: st, typ: int8(statusq.TypeAll), sub: int8(statusq.SubsystemAll)}
+				if typ != nil {
+					g.typ = int8(*typ)
+				}
+				if sub >= 0 {
+					g.sub = int8(sub)
+				}
+				e.groups = append(e.groups, g)
 				for agg := statusq.Aggregate(0); agg < statusq.NumAggregates; agg++ {
 					s := Spec{Type: typ, Subsystem: sub, Status: st, Agg: agg}
 					e.specs = append(e.specs, s)
@@ -126,48 +155,56 @@ func StaticVector(a *domain.Avail) []float64 {
 	}
 }
 
-// DynamicVector evaluates every generated feature at ts using the engine's
-// single-pass cell statistics.
+// evalGrids evaluates every generated feature from a finalized grid set
+// into dst (len NumDynamic): one cell load per (status × type × subsystem)
+// selection, all 11 aggregates batched from it. Pure array reads — no map
+// lookups, no allocation.
+func (e *Extractor) evalGrids(dst []float64, gs *statusq.GridSet, ts float64) {
+	total := gs.CreatedCount()
+	for g := range e.groups {
+		c := &e.groups[g]
+		gs[c.status][c.typ][c.sub].AggregateAll(dst[g*statusq.NumAggregates:], total, ts)
+	}
+}
+
+// DynamicVectorInto advances the sweep to ts and evaluates every generated
+// feature into dst (len NumDynamic). Successive calls with ascending ts
+// reuse the sweep's state, so the per-timestamp cost is the incremental
+// advance (§4.3) plus the flat evaluation loop — zero allocations.
+func (e *Extractor) DynamicVectorInto(dst []float64, sw *statusq.CellSweep, ts float64) error {
+	if len(dst) != len(e.specs) {
+		return fmt.Errorf("features: dst len %d, want %d", len(dst), len(e.specs))
+	}
+	if err := sw.AdvanceTo(ts); err != nil {
+		return err
+	}
+	e.evalGrids(dst, sw.Grids(), ts)
+	return nil
+}
+
+// DynamicVectorScratch evaluates every generated feature at ts into dst
+// using the engine's from-scratch dense grid fill. This is the
+// non-incremental reference path: each call pays the full index retrieval
+// and sort, but any timestamp can be queried in any order.
+func (e *Extractor) DynamicVectorScratch(dst []float64, eng *statusq.Engine, ts float64) error {
+	if len(dst) != len(e.specs) {
+		return fmt.Errorf("features: dst len %d, want %d", len(dst), len(e.specs))
+	}
+	var gs statusq.GridSet
+	if err := eng.CellGridsAt(ts, &gs); err != nil {
+		return err
+	}
+	e.evalGrids(dst, &gs, ts)
+	return nil
+}
+
+// DynamicVector evaluates every generated feature at ts from scratch,
+// allocating the output slice. Kept for ad-hoc single-timestamp queries;
+// grid sweeps should use DynamicVectorInto.
 func (e *Extractor) DynamicVector(eng *statusq.Engine, ts float64) ([]float64, error) {
-	// One cell map per status class.
-	cellsByStatus := make(map[domain.RCCStatus]map[statusq.GroupKey]statusq.CellStats, 3)
-	for _, st := range []domain.RCCStatus{domain.Active, domain.SettledStatus, domain.Created} {
-		cells, err := eng.CellStatsAt(ts, st)
-		if err != nil {
-			return nil, err
-		}
-		cellsByStatus[st] = cells
-	}
-	total := eng.CreatedCount(ts)
 	out := make([]float64, len(e.specs))
-	// Cache merged cells per (status, type, subsystem) selection to avoid
-	// re-merging for each of the 11 aggregates.
-	type selKey struct {
-		st  domain.RCCStatus
-		typ int // -1 all
-		sub int // -1 all
-	}
-	merged := make(map[selKey]statusq.CellStats)
-	for i, s := range e.specs {
-		tcode := -1
-		if s.Type != nil {
-			tcode = int(*s.Type)
-		}
-		k := selKey{st: s.Status, typ: tcode, sub: s.Subsystem}
-		cell, ok := merged[k]
-		if !ok {
-			for gk, c := range cellsByStatus[s.Status] {
-				if tcode >= 0 && int(gk.Type) != tcode {
-					continue
-				}
-				if s.Subsystem >= 0 && gk.Subsystem != s.Subsystem {
-					continue
-				}
-				cell = cell.Merge(c)
-			}
-			merged[k] = cell
-		}
-		out[i] = cell.Aggregate(s.Agg, total, ts)
+	if err := e.DynamicVectorScratch(out, eng, ts); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -195,20 +232,175 @@ type Tensor struct {
 	Avails []domain.Avail
 }
 
+// NumAvails reports the tensor's row count.
+func (t *Tensor) NumAvails() int { return len(t.Avails) }
+
+// TensorOptions tune the tensor build.
+type TensorOptions struct {
+	// Workers is the worker-pool size avails are fanned out over;
+	// <= 0 selects runtime.GOMAXPROCS(0). Row order and values are
+	// identical for every worker count: workers write disjoint
+	// pre-sized row indices, and each row's computation is
+	// self-contained.
+	Workers int
+}
+
+// TimestampGrid returns the t* grid with spacing x percent: 0, x, 2x, …,
+// then 100. Points are generated by integer stepping (i·x) rather than
+// float accumulation, so fractional gaps cannot drift into a near-duplicate
+// terminal point next to the appended 100.
+func TimestampGrid(x float64) []float64 {
+	const eps = 1e-9
+	var ts []float64
+	for i := 0; ; i++ {
+		v := float64(i) * x
+		if v >= 100-eps {
+			break
+		}
+		ts = append(ts, v)
+	}
+	return append(ts, 100)
+}
+
 // BuildTensor extracts the tensor for the given avails over a t* grid with
-// spacing x percent (the "model gap interval" of Problem 1): timestamps
-// 0, x, 2x, …, 100. Only closed avails are included, since training needs
-// the delay label. Engines are built with the given index kind.
+// spacing x percent (the "model gap interval" of Problem 1). Only closed
+// avails are included, since training needs the delay label. It is the
+// default-options form of BuildTensorOpt.
 func BuildTensor(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]domain.RCC, x float64, kind index.Kind) (*Tensor, error) {
+	return BuildTensorOpt(ext, avails, rccsByAvail, x, kind, TensorOptions{})
+}
+
+// BuildTensorOpt extracts the tensor with explicit options. Avails fan out
+// over a bounded worker pool; each worker owns one incremental
+// statusq.CellSweep per avail and visits the timestamp grid in ascending
+// order, so every timestamp after the first costs only the events inside
+// its window (§4.3). kind names the time-index design ad-hoc Status Queries
+// would use and is validated here for interface compatibility; the grid
+// build itself runs entirely on the event sweep and materializes no
+// per-avail index.
+func BuildTensorOpt(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]domain.RCC, x float64, kind index.Kind, opts TensorOptions) (*Tensor, error) {
 	if x <= 0 || x > 100 {
 		return nil, fmt.Errorf("features: gap interval %f outside (0,100]", x)
 	}
-	var ts []float64
-	for v := 0.0; v < 100; v += x {
-		ts = append(ts, v)
+	if _, err := index.New(kind); err != nil {
+		return nil, err
 	}
-	ts = append(ts, 100)
+	ts := TimestampGrid(x)
 
+	// Row selection and labels are resolved up front so workers only ever
+	// touch their own pre-sized row index.
+	var rows []*domain.Avail
+	var delays []float64
+	for i := range avails {
+		a := &avails[i]
+		if a.Status != domain.StatusClosed {
+			continue
+		}
+		delay, err := a.Delay()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, a)
+		delays = append(delays, float64(delay))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("features: no closed avails")
+	}
+
+	t := &Tensor{Timestamps: ts, Avails: make([]domain.Avail, len(rows))}
+	names := ext.Names()
+	numFeatures := NumStatic + ext.NumDynamic()
+	for range ts {
+		t.Slices = append(t.Slices, &ml.Dataset{
+			Names: names,
+			X:     make([][]float64, len(rows)),
+			Y:     make([]float64, len(rows)),
+		})
+	}
+	for r := range rows {
+		t.Avails[r] = *rows[r]
+		for k := range ts {
+			t.Slices[k].Y[r] = delays[r]
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	rowCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rowCh {
+				if failed() {
+					continue
+				}
+				a := rows[r]
+				sw, err := statusq.NewCellSweep(a, rccsByAvail[a.ID])
+				if err != nil {
+					fail(fmt.Errorf("features: avail %d: %w", a.ID, err))
+					continue
+				}
+				// One backing block per row: K feature vectors laid out
+				// contiguously, sliced per timestamp.
+				block := make([]float64, len(ts)*numFeatures)
+				static := StaticVector(a)
+				for k, tstar := range ts {
+					vec := block[k*numFeatures : (k+1)*numFeatures : (k+1)*numFeatures]
+					copy(vec, static)
+					if err := ext.DynamicVectorInto(vec[NumStatic:], sw, tstar); err != nil {
+						fail(fmt.Errorf("features: avail %d @%g: %w", a.ID, tstar, err))
+						break
+					}
+					t.Slices[k].X[r] = vec
+				}
+			}
+		}()
+	}
+	for r := range rows {
+		rowCh <- r
+	}
+	close(rowCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return t, nil
+}
+
+// BuildTensorScratch is the pre-sweep reference build: one engine per
+// avail, every timestamp recomputed from scratch via the index, serially.
+// It is retained for differential verification (its output is
+// bitwise-identical to BuildTensorOpt at any worker count) and for the
+// scalability study quantifying what the incremental sweep saves.
+func BuildTensorScratch(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]domain.RCC, x float64, kind index.Kind) (*Tensor, error) {
+	if x <= 0 || x > 100 {
+		return nil, fmt.Errorf("features: gap interval %f outside (0,100]", x)
+	}
+	ts := TimestampGrid(x)
 	t := &Tensor{Timestamps: ts}
 	names := ext.Names()
 	for range ts {
@@ -228,9 +420,11 @@ func BuildTensor(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]do
 			return nil, fmt.Errorf("features: avail %d: %w", a.ID, err)
 		}
 		t.Avails = append(t.Avails, *a)
+		static := StaticVector(a)
 		for k, tstar := range ts {
-			vec, err := ext.Vector(eng, tstar)
-			if err != nil {
+			vec := make([]float64, NumStatic+ext.NumDynamic())
+			copy(vec, static)
+			if err := ext.DynamicVectorScratch(vec[NumStatic:], eng, tstar); err != nil {
 				return nil, fmt.Errorf("features: avail %d @%g: %w", a.ID, tstar, err)
 			}
 			t.Slices[k].X = append(t.Slices[k].X, vec)
@@ -242,6 +436,3 @@ func BuildTensor(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][]do
 	}
 	return t, nil
 }
-
-// NumAvails reports the tensor's row count.
-func (t *Tensor) NumAvails() int { return len(t.Avails) }

@@ -11,9 +11,26 @@
 //   - a pluggable logical-time index ℛ (package index) over the RCC
 //     (created, settled) intervals.
 //
-// StatStructure provides the incremental computation of §4.3: advancing from
-// one logical timestamp to the next touches only the creation/settlement
-// events inside the new window instead of re-running the query from scratch.
+// Incremental computation (§4.3) comes in two flavours. StatStructure
+// maintains the additive per-group aggregates: advancing from one logical
+// timestamp to the next touches only the creation/settlement events inside
+// the new window instead of re-running the query from scratch. CellSweep
+// extends that sweep to the full seven-statistic CellStats lattice feeding
+// the ~1500-feature transformation, on a dense CellGrid with ALL margins.
+//
+// Complexity of the CellSweep over a K-point timestamp grid on n RCCs, with
+// e_j events and a_j live active RCCs in window j:
+//
+//	Σ_j O(e_j + a_j + 1)  =  O(n + Σ_j a_j + K)
+//
+// versus O(K · n log n) for K independent from-scratch evaluations. The
+// Created and Settled classes are append-only under a forward sweep — their
+// min/max statistics are monotone under insert-only growth — so they cost
+// O(e_j) per step. The Active class is non-monotone (settlements remove
+// members), so its min/max must be recomputed from the live active set; the
+// sweep keeps that set in an intrusive linked list and rebuilds the Active
+// cells in O(a_j), with a_j bounded by the peak number of concurrently open
+// RCCs. Margins are O(1) per step (fixed 4 × 11 grid shape).
 package statusq
 
 import (
@@ -148,6 +165,11 @@ func (e *Engine) statusSet(ts float64, status domain.RCCStatus) ([]int, error) {
 // Retrieve runs the retrieval part of Algorithm StatusQ: the temporal class
 // at ts intersected with the group-by subtrees. The returned positions index
 // into the engine's RCC slice, in ascending order.
+//
+// Both sides of the intersection are sorted position lists — the group-by
+// trees store members in insertion (= position) order and the temporal set
+// is sorted once here — so the intersection is a linear merge rather than a
+// hash-set probe followed by an output sort.
 func (e *Engine) Retrieve(ts float64, q Query) ([]int, error) {
 	timeSet, err := e.statusSet(ts, q.Status)
 	if err != nil {
@@ -156,32 +178,66 @@ func (e *Engine) Retrieve(ts float64, q Query) ([]int, error) {
 	if len(timeSet) == 0 {
 		return nil, nil
 	}
+	// The time index returns fresh slices in index-internal order (the AVL
+	// traverses by date); sort by position once for the merge.
+	sort.Ints(timeSet)
 	// Group-By(𝒯, 𝒮𝒯): the candidate subtree of Algorithm 1.
-	member := make(map[int]bool, len(timeSet))
-	for _, p := range timeSet {
-		member[p] = true
-	}
 	var candidates []int
 	switch {
 	case q.Type == nil && q.SWLINPrefix == nil:
-		candidates = timeSet
+		return timeSet, nil
 	case q.SWLINPrefix == nil:
 		candidates = e.typeGroups[*q.Type]
 	default:
 		candidates = e.swlinTree.Group(q.SWLINPrefix)
+	}
+	return e.intersectMerge(candidates, timeSet, q.Type), nil
+}
+
+// intersectMerge intersects two ascending position lists by linear merge,
+// applying the optional type filter (needed when candidates come from the
+// SWLIN trie, which mixes types).
+func (e *Engine) intersectMerge(candidates, timeSet []int, typ *domain.RCCType) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(candidates) && j < len(timeSet) {
+		switch {
+		case candidates[i] < timeSet[j]:
+			i++
+		case candidates[i] > timeSet[j]:
+			j++
+		default:
+			p := candidates[i]
+			if typ == nil || e.rccs[p].Type == *typ {
+				out = append(out, p)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// intersectMap is the superseded hash-set intersection (membership map plus
+// output sort). It is retained as the reference implementation the merge
+// path is differentially tested against.
+func (e *Engine) intersectMap(candidates, timeSet []int, typ *domain.RCCType) []int {
+	member := make(map[int]bool, len(timeSet))
+	for _, p := range timeSet {
+		member[p] = true
 	}
 	var out []int
 	for _, p := range candidates {
 		if !member[p] {
 			continue
 		}
-		if q.Type != nil && e.rccs[p].Type != *q.Type {
+		if typ != nil && e.rccs[p].Type != *typ {
 			continue
 		}
 		out = append(out, p)
 	}
 	sort.Ints(out)
-	return out, nil
+	return out
 }
 
 // CreatedCount returns |Created(t*)|, the Pct denominator. Using the
