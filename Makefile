@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+# stress knobs: repeat the concurrent-serving stress suite STRESS_COUNT
+# times (raise to shake out rare interleavings) within STRESS_TIMEOUT.
+STRESS_COUNT ?= 3
+STRESS_TIMEOUT ?= 10m
+
+.PHONY: build vet test race stress check bench
 
 build:
 	$(GO) build ./...
@@ -16,9 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile, vet, race-test everything.
+# stress repeats the concurrent-serving suite (parallel /query + /fleet +
+# AddRCC over httptest, plus the catalog and index concurrency gates) under
+# the race detector.
+stress:
+	$(GO) test -race -count $(STRESS_COUNT) -timeout $(STRESS_TIMEOUT) \
+		-run 'Concurrent|SingleFlight|CachedEngine' \
+		./internal/server/ ./internal/statusq/ ./internal/index/
+
+# check is the CI gate: compile, vet, race-test everything, then repeat the
+# concurrency stress suite.
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

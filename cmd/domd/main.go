@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"domd/internal/backtest"
 	"domd/internal/core"
@@ -291,6 +295,12 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	c := addCommon(fs)
 	addr := fs.String("addr", ":8080", "listen address")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "max duration for reading a request")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "max duration for writing a response")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	fleetPar := fs.Int("fleet-parallel", server.DefaultFleetParallelism, "max avails one /fleet request queries concurrently")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	fs.Parse(args)
 	avails, rccs := load(c)
 	ext, tensor, sp := buildTensor(c, avails, rccs)
@@ -299,10 +309,42 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := server.New(p, ext, catalog, index.KindAVL)
-	fmt.Printf("serving DoMD API on %s (avails: %d, ongoing: %d)\n",
-		*addr, len(catalog.AvailIDs()), len(catalog.OngoingIDs()))
-	log.Fatal(http.ListenAndServe(*addr, h))
+	opts := server.Options{FleetParallelism: *fleetPar}
+	if !*quiet {
+		opts.Logger = log.New(os.Stderr, "domd: ", log.LstdFlags)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(p, ext, catalog, opts),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	// Graceful shutdown: first SIGINT/SIGTERM stops accepting and drains
+	// in-flight requests for up to -shutdown-timeout, then force-closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Print("signal received; draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
+
+	fmt.Printf("serving DoMD API on %s (avails: %d, ongoing: %d, fleet parallelism: %d)\n",
+		*addr, len(catalog.AvailIDs()), len(catalog.OngoingIDs()), *fleetPar)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("server stopped cleanly")
 }
 
 func runBacktest(args []string) {

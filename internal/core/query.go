@@ -56,10 +56,15 @@ func (r *Result) Final() float64 {
 	return r.Estimates[len(r.Estimates)-1].Fused
 }
 
-// Query answers a DoMD query at physical time at. The avail must have
-// started (t* >= 0); only RCC history up to the query time influences the
-// estimates (later RCCs are invisible to earlier grid points by
-// construction of the Status Query predicates).
+// Query answers a DoMD query at physical time at, building a throwaway
+// engine over the given RCC history — the one-shot CLI/example path. The
+// avail must have started (t* >= 0); only RCC history up to the query time
+// influences the estimates (later RCCs are invisible to earlier grid
+// points by construction of the Status Query predicates).
+//
+// Serving tiers answering repeated queries should not pay this per-call
+// re-index: build (or cache) the engine once — e.g. via statusq.Catalog —
+// and call QueryEngine.
 func (s *QueryService) Query(a *domain.Avail, rccs []domain.RCC, at domain.Day) (*Result, error) {
 	ts, err := a.LogicalTime(at)
 	if err != nil {
@@ -71,6 +76,22 @@ func (s *QueryService) Query(a *domain.Avail, rccs []domain.RCC, at domain.Day) 
 	eng, err := statusq.NewEngine(a, rccs, s.kind)
 	if err != nil {
 		return nil, err
+	}
+	return s.QueryEngine(eng, at)
+}
+
+// QueryEngine answers a DoMD query against a prebuilt Status Query engine.
+// This is the cached serving path: the engine is read-only here, so one
+// engine may be shared by any number of concurrent QueryEngine calls (see
+// the index.TimeIndex concurrency contract).
+func (s *QueryService) QueryEngine(eng *statusq.Engine, at domain.Day) (*Result, error) {
+	a := eng.Avail()
+	ts, err := a.LogicalTime(at)
+	if err != nil {
+		return nil, err
+	}
+	if ts < 0 {
+		return nil, fmt.Errorf("core: avail %d has not started at %v (t* = %.1f%%)", a.ID, at, ts)
 	}
 	grid := s.pipeline.Timestamps()
 	upto := 0

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"domd/internal/domain"
@@ -8,6 +9,7 @@ import (
 	"domd/internal/index"
 	"domd/internal/navsim"
 	"domd/internal/split"
+	"domd/internal/statusq"
 )
 
 // trainService builds a trained pipeline plus the ongoing avails to query.
@@ -125,5 +127,60 @@ func TestQueryRejectsForeignRCCs(t *testing.T) {
 	foreign := []domain.RCC{{ID: 1, AvailID: a.ID + 1, Created: a.ActStart, Settled: a.ActStart + 5}}
 	if _, err := svc.Query(a, foreign, a.PhysicalTime(10)); err == nil {
 		t.Error("foreign rccs: want error")
+	}
+}
+
+// TestQueryEngineMatchesQuery pins the cached serving path: answering via a
+// prebuilt (catalog-cached) engine must be indistinguishable from the
+// one-shot Query path that re-indexes per call.
+func TestQueryEngineMatchesQuery(t *testing.T) {
+	svc, ds := trainService(t)
+	a := ongoingAvail(t, ds)
+	rccs := ds.RCCsByAvail()[a.ID]
+	at := a.PhysicalTime(50)
+	fresh, err := svc.Query(a, rccs, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := statusq.NewEngine(a, rccs, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := svc.QueryEngine(eng, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Estimates) != len(fresh.Estimates) {
+		t.Fatalf("estimates %d != %d", len(cached.Estimates), len(fresh.Estimates))
+	}
+	for k := range fresh.Estimates {
+		if cached.Estimates[k] != fresh.Estimates[k] {
+			t.Errorf("estimate %d: cached %+v != fresh %+v", k, cached.Estimates[k], fresh.Estimates[k])
+		}
+	}
+	if cached.LogicalTime != fresh.LogicalTime || cached.Final() != fresh.Final() {
+		t.Errorf("cached (t*=%f, final=%f) != fresh (t*=%f, final=%f)",
+			cached.LogicalTime, cached.Final(), fresh.LogicalTime, fresh.Final())
+	}
+	// A shared engine must answer concurrent queries race-free (see the
+	// index.TimeIndex concurrency contract); run with -race.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := svc.QueryEngine(eng, a.PhysicalTime(float64(30+w*10))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Not-started avails are rejected the same way on both paths.
+	if _, err := svc.QueryEngine(eng, a.ActStart-10); err == nil {
+		t.Error("QueryEngine before start: want error")
 	}
 }

@@ -1,0 +1,62 @@
+package index
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadsAfterInsert exercises the TimeIndex concurrency
+// contract: after a batch of Inserts (which leaves NaiveIndex and
+// SortedIndex with a pending deferred re-sort), every query method must be
+// safe to call from many goroutines at once. Pre-fix, the lazy ensureSorted
+// mutation inside the read path trips the race detector for the flat-array
+// designs; run with -race.
+func TestConcurrentReadsAfterInsert(t *testing.T) {
+	kinds := append(Kinds(), KindSorted)
+	for _, kind := range kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			idx, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				iv := Interval{Start: int64(i % 37), End: int64(i%37 + 1 + i%11), ID: i}
+				if err := idx.Insert(iv); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := idx.CountSettledBy(40) // sequential reference, also triggers one sort
+			// Re-insert to re-arm the deferred sort, so the concurrent
+			// readers below race on it.
+			if err := idx.Insert(Interval{Start: 1, End: 2, ID: 300}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 50; i++ {
+						tpt := int64((w + i) % 50)
+						_ = idx.ActiveAt(tpt)
+						_ = idx.SettledBy(tpt)
+						_ = idx.CreatedBy(tpt)
+						_ = idx.CountActiveAt(tpt)
+						if got := idx.CountSettledBy(40); got < want {
+							t.Errorf("CountSettledBy(40) = %d under concurrency, want >= %d", got, want)
+							return
+						}
+						_ = idx.CreatedIn(tpt, tpt+5)
+						_ = idx.SettledIn(tpt, tpt+5)
+						_ = idx.Len()
+						_ = idx.MemoryBytes()
+					}
+				}(w)
+			}
+			close(start)
+			wg.Wait()
+		})
+	}
+}

@@ -40,6 +40,16 @@ func (iv Interval) Validate() error {
 // TimeIndex is the common contract of the three index designs. Result sets
 // are returned as id slices in unspecified order; callers needing stable
 // order must sort.
+//
+// Concurrency contract: the query methods (ActiveAt, SettledBy, CreatedBy,
+// CountActiveAt, CountSettledBy, CreatedIn, SettledIn, Len, MemoryBytes)
+// are safe to call from multiple goroutines concurrently — implementations
+// with deferred work on the read path (the lazy re-sorts of NaiveIndex and
+// SortedIndex) synchronize it internally. The mutating methods (Insert,
+// Delete, BulkLoad) require exclusive access: callers must not run them
+// concurrently with each other or with queries. statusq.Catalog relies on
+// this split — engines are immutable once built and shared across request
+// goroutines, while mutation happens only by swapping in a new engine.
 type TimeIndex interface {
 	// Insert adds an interval. Duplicate ids are the caller's concern.
 	Insert(iv Interval) error

@@ -1,6 +1,10 @@
 package index
 
-import "slices"
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
 // joinedRow is one row of the materialized avail⋈RCC join product the
 // "Pandas merge" baseline of paper §4.1 stores: the interval triple plus
@@ -18,13 +22,23 @@ type joinedRow struct {
 // NaiveIndex is the merge-join baseline of paper §4.1 ("Pandas merge"): it
 // materializes the joined rows in a flat slice, sorts them by start date
 // (lazily, amortized over queries), and answers every query with a scan.
+//
+// The deferred re-sort is internally synchronized (double-checked locking),
+// so the query methods satisfy the TimeIndex contract: they are safe to
+// call concurrently with each other, while Insert/Delete require exclusive
+// access.
 type NaiveIndex struct {
 	joined []joinedRow
-	sorted bool
+	sorted atomic.Bool
+	sortMu sync.Mutex
 }
 
 // NewNaive returns an empty naive index.
-func NewNaive() *NaiveIndex { return &NaiveIndex{} }
+func NewNaive() *NaiveIndex {
+	x := &NaiveIndex{}
+	x.sorted.Store(true)
+	return x
+}
 
 // materialize builds the wide join row, copying the duplicated avail
 // attribute columns the way a dataframe merge does.
@@ -43,7 +57,7 @@ func (x *NaiveIndex) Insert(iv Interval) error {
 		return err
 	}
 	x.joined = append(x.joined, materialize(iv))
-	x.sorted = false
+	x.sorted.Store(false)
 	return nil
 }
 
@@ -61,8 +75,18 @@ func (x *NaiveIndex) Delete(iv Interval) bool {
 // Len implements TimeIndex.
 func (x *NaiveIndex) Len() int { return len(x.joined) }
 
+// ensureSorted performs the deferred re-sort at most once per batch of
+// mutations. Fast path: an atomic load (release-acquire paired with the
+// Store below, so readers that skip the lock still see the sorted rows).
+// Slow path: the first reader after a mutation sorts under sortMu while
+// racing readers block on the same mutex.
 func (x *NaiveIndex) ensureSorted() {
-	if x.sorted {
+	if x.sorted.Load() {
+		return
+	}
+	x.sortMu.Lock()
+	defer x.sortMu.Unlock()
+	if x.sorted.Load() {
 		return
 	}
 	slices.SortFunc(x.joined, func(a, b joinedRow) int {
@@ -74,7 +98,7 @@ func (x *NaiveIndex) ensureSorted() {
 		}
 		return 0
 	})
-	x.sorted = true
+	x.sorted.Store(true)
 }
 
 // ActiveAt implements TimeIndex with a scan of the materialized join.
@@ -94,7 +118,10 @@ func (x *NaiveIndex) ActiveAt(t int64) []int {
 }
 
 // SettledBy implements TimeIndex with a full scan (ends are unsorted).
+// ensureSorted is still required: it parks this reader while a racing
+// reader runs the deferred re-sort, keeping the scan race-free.
 func (x *NaiveIndex) SettledBy(t int64) []int {
+	x.ensureSorted()
 	var ids []int
 	for i := range x.joined {
 		if x.joined[i].iv.End <= t {
@@ -119,6 +146,7 @@ func (x *NaiveIndex) CreatedBy(t int64) []int {
 
 // CountActiveAt implements TimeIndex with a scan.
 func (x *NaiveIndex) CountActiveAt(t int64) int {
+	x.ensureSorted()
 	c := 0
 	for i := range x.joined {
 		if x.joined[i].iv.Start <= t && x.joined[i].iv.End > t {
@@ -130,6 +158,7 @@ func (x *NaiveIndex) CountActiveAt(t int64) int {
 
 // CountSettledBy implements TimeIndex with a scan.
 func (x *NaiveIndex) CountSettledBy(t int64) int {
+	x.ensureSorted()
 	c := 0
 	for i := range x.joined {
 		if x.joined[i].iv.End <= t {
@@ -141,6 +170,7 @@ func (x *NaiveIndex) CountSettledBy(t int64) int {
 
 // CreatedIn implements TimeIndex with a scan.
 func (x *NaiveIndex) CreatedIn(lo, hi int64) []int {
+	x.ensureSorted()
 	var ids []int
 	for i := range x.joined {
 		s := x.joined[i].iv.Start
@@ -153,6 +183,7 @@ func (x *NaiveIndex) CreatedIn(lo, hi int64) []int {
 
 // SettledIn implements TimeIndex with a scan.
 func (x *NaiveIndex) SettledIn(lo, hi int64) []int {
+	x.ensureSorted()
 	var ids []int
 	for i := range x.joined {
 		e := x.joined[i].iv.End

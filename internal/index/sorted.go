@@ -1,6 +1,10 @@
 package index
 
-import "slices"
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
 // SortedIndex is an ablation design beyond the paper's three: two flat
 // sorted arrays (by start and by end) queried with binary search. It has
@@ -9,15 +13,22 @@ import "slices"
 // DoMD workload builds each avail's index once and queries it many times,
 // so this design quantifies how much of the AVL's tree machinery the
 // workload actually needs (see BenchmarkAblationSortedVsAVL).
+// Like NaiveIndex, the deferred re-sort after Insert is internally
+// synchronized, so concurrent readers are safe per the TimeIndex contract.
 type SortedIndex struct {
 	// byStart and byEnd are sorted by their respective key.
 	byStart []avlEntry // key = Start, aux = End
 	byEnd   []avlEntry // key = End, aux = Start
-	sorted  bool
+	sorted  atomic.Bool
+	sortMu  sync.Mutex
 }
 
 // NewSorted returns an empty sorted-array index.
-func NewSorted() *SortedIndex { return &SortedIndex{sorted: true} }
+func NewSorted() *SortedIndex {
+	x := &SortedIndex{}
+	x.sorted.Store(true)
+	return x
+}
 
 // KindSorted names the design for benchmarks; it is intentionally not part
 // of Kinds() (the paper evaluates three designs).
@@ -52,11 +63,19 @@ func entryCmp(a, b avlEntry) int {
 func (x *SortedIndex) sort() {
 	slices.SortFunc(x.byStart, entryCmp)
 	slices.SortFunc(x.byEnd, entryCmp)
-	x.sorted = true
+	x.sorted.Store(true)
 }
 
+// ensure runs the deferred re-sort at most once per batch of mutations,
+// with double-checked locking so concurrent readers either skip it (atomic
+// fast path) or block while one of them sorts.
 func (x *SortedIndex) ensure() {
-	if !x.sorted {
+	if x.sorted.Load() {
+		return
+	}
+	x.sortMu.Lock()
+	defer x.sortMu.Unlock()
+	if !x.sorted.Load() {
 		x.sort()
 	}
 }
@@ -69,7 +88,7 @@ func (x *SortedIndex) Insert(iv Interval) error {
 	}
 	x.byStart = append(x.byStart, avlEntry{key: iv.Start, aux: iv.End, id: iv.ID})
 	x.byEnd = append(x.byEnd, avlEntry{key: iv.End, aux: iv.Start, id: iv.ID})
-	x.sorted = false
+	x.sorted.Store(false)
 	return nil
 }
 

@@ -8,36 +8,68 @@
 //	GET /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
 //	GET /fleet?date=2024-04-12            DoMD for every ongoing avail
 //
-// The server is read-only over the model; RCC ingestion goes through the
-// catalog before the server is constructed (or via a fronting pipeline in
-// the enclave).
+// The handler is safe for concurrent use: queries are answered from the
+// catalog's cached per-avail engines (single-flight built, never rebuilt
+// per request), and RCC ingestion may proceed concurrently through
+// statusq.Catalog.AddRCC, which atomically invalidates the affected engine.
+// /fleet fans out over the ongoing avails with bounded parallelism and
+// per-avail error isolation, honoring the request context.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
 	"domd/internal/core"
 	"domd/internal/domain"
 	"domd/internal/features"
-	"domd/internal/index"
 	"domd/internal/statusq"
 )
 
+// DefaultFleetParallelism bounds the /fleet fan-out when Options leaves it
+// unset: wide enough to hide per-avail latency, narrow enough that one
+// fleet request cannot monopolize the process.
+const DefaultFleetParallelism = 8
+
+// Options tune the handler.
+type Options struct {
+	// FleetParallelism caps the number of avails queried concurrently by
+	// one /fleet request; <= 0 selects DefaultFleetParallelism.
+	FleetParallelism int
+	// Logger receives one line per request (method, path, status,
+	// duration). nil disables request logging.
+	Logger *log.Logger
+}
+
 // Server handles the SMDII-style JSON API.
 type Server struct {
-	svc     *core.QueryService
-	catalog *statusq.Catalog
-	mux     *http.ServeMux
+	svc      *core.QueryService
+	catalog  *statusq.Catalog
+	mux      *http.ServeMux
+	fleetPar int
+	logger   *log.Logger
 }
 
 // New wires a trained pipeline and an avail catalog into an http.Handler.
-func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, kind index.Kind) *Server {
+// Queries hit the catalog's engine cache; the catalog's index kind decides
+// the Status Query backend.
+func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, opts Options) *Server {
+	par := opts.FleetParallelism
+	if par <= 0 {
+		par = DefaultFleetParallelism
+	}
 	s := &Server{
-		svc:     core.NewQueryService(p, ext, kind),
-		catalog: catalog,
-		mux:     http.NewServeMux(),
+		svc:      core.NewQueryService(p, ext, catalog.Kind()),
+		catalog:  catalog,
+		mux:      http.NewServeMux(),
+		fleetPar: par,
+		logger:   opts.Logger,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /avails", s.handleAvails)
@@ -46,8 +78,28 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, ki
 	return s
 }
 
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -80,8 +132,9 @@ type availView struct {
 }
 
 func (s *Server) handleAvails(w http.ResponseWriter, _ *http.Request) {
-	var out []availView
-	for _, id := range s.catalog.AvailIDs() {
+	ids := s.catalog.AvailIDs()
+	out := make([]availView, 0, len(ids)) // non-nil: an empty catalog encodes []
+	for _, id := range ids {
 		a, _ := s.catalog.Avail(id)
 		v := availView{
 			ID: a.ID, ShipID: a.ShipID, Status: a.Status.String(),
@@ -124,12 +177,16 @@ type queryView struct {
 	TopDrivers  []driverView   `json:"top_drivers"`
 }
 
-func (s *Server) queryOne(id int, at domain.Day) (*queryView, error) {
-	a, ok := s.catalog.Avail(id)
-	if !ok {
-		return nil, fmt.Errorf("unknown avail %d", id)
+// queryOne answers one avail's DoMD query from the catalog's cached engine.
+func (s *Server) queryOne(ctx context.Context, id int, at domain.Day) (*queryView, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	res, err := s.svc.Query(a, s.catalog.RCCs(id), at)
+	eng, err := s.catalog.Engine(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.svc.QueryEngine(eng, at)
 	if err != nil {
 		return nil, err
 	}
@@ -153,8 +210,8 @@ func (s *Server) queryOne(id int, at domain.Day) (*queryView, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.URL.Query().Get("avail"), "%d", &id); err != nil {
+	id, err := strconv.Atoi(r.URL.Query().Get("avail"))
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing or invalid avail parameter"))
 		return
 	}
@@ -163,7 +220,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.queryOne(id, at)
+	view, err := s.queryOne(r.Context(), id, at)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if _, ok := s.catalog.Avail(id); !ok {
@@ -189,16 +246,25 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	var rows []fleetRow
-	for _, id := range s.catalog.OngoingIDs() {
-		view, err := s.queryOne(id, at)
-		row := fleetRow{AvailID: id}
-		if err != nil {
-			row.Error = err.Error()
-		} else {
-			row.Result = view
-		}
-		rows = append(rows, row)
+	ids := s.catalog.OngoingIDs()
+	rows := make([]fleetRow, len(ids)) // non-nil: no ongoing avails encodes []
+	sem := make(chan struct{}, s.fleetPar)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		rows[i].AvailID = id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			view, err := s.queryOne(r.Context(), id, at)
+			if err != nil {
+				rows[i].Error = err.Error()
+			} else {
+				rows[i].Result = view
+			}
+		}()
 	}
+	wg.Wait()
 	writeJSON(w, http.StatusOK, rows)
 }

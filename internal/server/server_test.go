@@ -3,8 +3,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
 	"testing"
 
 	"domd/internal/core"
@@ -17,21 +22,21 @@ import (
 	"domd/internal/statusq"
 )
 
-// newTestServer trains a small pipeline and serves the dataset's fleet.
-func newTestServer(t *testing.T) (*httptest.Server, *navsim.Dataset) {
-	t.Helper()
+// trainTestPipeline trains one small pipeline per test binary; the trained
+// pipeline and extractor are read-only and shared by every test server.
+var trainTestPipeline = sync.OnceValues(func() (*core.Pipeline, *features.Extractor) {
 	ds, err := navsim.Generate(navsim.Config{NumClosed: 40, NumOngoing: 3, MeanRCCsPerAvail: 40, Seed: 12})
 	if err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	ext := features.NewExtractor()
 	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
 	if err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
 	if err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	cfg := core.BaselineConfig()
 	cfg.Fusion = fusion.MethodAverage
@@ -41,15 +46,26 @@ func newTestServer(t *testing.T) (*httptest.Server, *navsim.Dataset) {
 	cfg.GBTParams = &p
 	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
 	if err != nil {
+		panic(err)
+	}
+	return pipe, ext
+})
+
+// newTestServer trains a small pipeline and serves the dataset's fleet.
+func newTestServer(t *testing.T) (*httptest.Server, *navsim.Dataset, *statusq.Catalog) {
+	t.Helper()
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 40, NumOngoing: 3, MeanRCCsPerAvail: 40, Seed: 12})
+	if err != nil {
 		t.Fatal(err)
 	}
+	pipe, ext := trainTestPipeline()
 	catalog, err := statusq.NewCatalog(ds.Avails, ds.RCCs, index.KindAVL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(pipe, ext, catalog, index.KindAVL))
+	srv := httptest.NewServer(New(pipe, ext, catalog, Options{}))
 	t.Cleanup(srv.Close)
-	return srv, ds
+	return srv, ds, catalog
 }
 
 func get(t *testing.T, url string, wantStatus int, out any) {
@@ -73,7 +89,7 @@ func get(t *testing.T, url string, wantStatus int, out any) {
 }
 
 func TestHealth(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _, _ := newTestServer(t)
 	var body map[string]string
 	get(t, srv.URL+"/healthz", http.StatusOK, &body)
 	if body["status"] != "ok" {
@@ -82,7 +98,7 @@ func TestHealth(t *testing.T) {
 }
 
 func TestAvailsList(t *testing.T) {
-	srv, ds := newTestServer(t)
+	srv, ds, _ := newTestServer(t)
 	var rows []map[string]any
 	get(t, srv.URL+"/avails", http.StatusOK, &rows)
 	if len(rows) != len(ds.Avails) {
@@ -109,7 +125,7 @@ func TestAvailsList(t *testing.T) {
 }
 
 func TestQueryEndpoint(t *testing.T) {
-	srv, ds := newTestServer(t)
+	srv, ds, _ := newTestServer(t)
 	var target int
 	for i := range ds.Avails {
 		if ds.Avails[i].Status.String() == "ongoing" {
@@ -139,7 +155,7 @@ func TestQueryEndpoint(t *testing.T) {
 }
 
 func TestQueryErrors(t *testing.T) {
-	srv, ds := newTestServer(t)
+	srv, ds, _ := newTestServer(t)
 	var e map[string]string
 	get(t, srv.URL+"/query?avail=xyz&date=2020-01-01", http.StatusBadRequest, &e)
 	get(t, srv.URL+"/query?avail=1&date=garbage", http.StatusBadRequest, &e)
@@ -154,7 +170,7 @@ func TestQueryErrors(t *testing.T) {
 }
 
 func TestFleetEndpoint(t *testing.T) {
-	srv, ds := newTestServer(t)
+	srv, ds, _ := newTestServer(t)
 	// Pick a date where at least one ongoing avail is executing.
 	var date string
 	for i := range ds.Avails {
@@ -185,7 +201,7 @@ func TestFleetEndpoint(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _, _ := newTestServer(t)
 	resp, err := http.Post(srv.URL+"/query", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -193,5 +209,144 @@ func TestMethodRouting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /query = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestQueryAvailIDParsing pins the strconv.Atoi regression: fmt.Sscanf
+// accepted trailing junk ("12abc" parsed as 12), silently answering for the
+// wrong resource. Any non-integer avail parameter must be a 400.
+func TestQueryAvailIDParsing(t *testing.T) {
+	srv, ds, _ := newTestServer(t)
+	var e map[string]string
+	for _, bad := range []string{"12abc", "1.5", " 7", "7 ", "0x10", "", "++3"} {
+		get(t, srv.URL+"/query?avail="+url.QueryEscape(bad)+"&date=2020-01-01", http.StatusBadRequest, &e)
+	}
+	// Sanity: a well-formed id still routes (404 — the id is parsed, just unknown).
+	get(t, srv.URL+"/query?avail=999999&date=2020-01-01", http.StatusNotFound, &e)
+	// And a real id still works end to end.
+	a := ds.Avails[0]
+	get(t, fmt.Sprintf("%s/query?avail=%d&date=%s", srv.URL, a.ID, a.PhysicalTime(50)), http.StatusOK, nil)
+}
+
+// rawBody fetches a URL and returns the trimmed response body.
+func rawBody(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// TestEmptyCollectionsEncodeAsArrays pins the nil-slice regression: /avails
+// on an empty catalog and /fleet with no ongoing avails must encode [] —
+// JSON clients treat null and [] very differently.
+func TestEmptyCollectionsEncodeAsArrays(t *testing.T) {
+	pipe, ext := trainTestPipeline()
+
+	empty, err := statusq.NewCatalog(nil, nil, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(pipe, ext, empty, Options{}))
+	defer srv.Close()
+	if body := rawBody(t, srv.URL+"/avails", http.StatusOK); body != "[]" {
+		t.Errorf("/avails on empty catalog = %q, want []", body)
+	}
+	if body := rawBody(t, srv.URL+"/fleet?date=2023-01-01", http.StatusOK); body != "[]" {
+		t.Errorf("/fleet with no ongoing avails = %q, want []", body)
+	}
+
+	// A fleet of exclusively closed avails must also yield [].
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 5, NumOngoing: 0, MeanRCCsPerAvail: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedOnly, err := statusq.NewCatalog(ds.Avails, ds.RCCs, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(New(pipe, ext, closedOnly, Options{}))
+	defer srv2.Close()
+	if body := rawBody(t, srv2.URL+"/fleet?date=2023-01-01", http.StatusOK); body != "[]" {
+		t.Errorf("/fleet over closed-only catalog = %q, want []", body)
+	}
+}
+
+// TestRouteStatusCodes pins every route's status contract: 400 on bad
+// params, 404 on unknown avail, 422 on an avail not started at the date,
+// 200 on the happy path, 405 on wrong method.
+func TestRouteStatusCodes(t *testing.T) {
+	srv, ds, _ := newTestServer(t)
+	a := ds.Avails[0]
+	cases := []struct {
+		name, path string
+		want       int
+	}{
+		{"healthz ok", "/healthz", http.StatusOK},
+		{"avails ok", "/avails", http.StatusOK},
+		{"query ok", fmt.Sprintf("/query?avail=%d&date=%s", a.ID, a.PhysicalTime(50)), http.StatusOK},
+		{"query missing avail", "/query?date=2020-01-01", http.StatusBadRequest},
+		{"query junk avail", "/query?avail=12abc&date=2020-01-01", http.StatusBadRequest},
+		{"query bad date", fmt.Sprintf("/query?avail=%d&date=garbage", a.ID), http.StatusBadRequest},
+		{"query missing date", fmt.Sprintf("/query?avail=%d", a.ID), http.StatusBadRequest},
+		{"query unknown avail", "/query?avail=999999&date=2020-01-01", http.StatusNotFound},
+		{"query not started", fmt.Sprintf("/query?avail=%d&date=%s", a.ID, a.ActStart-100), http.StatusUnprocessableEntity},
+		{"fleet ok", "/fleet?date=" + ds.Avails[len(ds.Avails)-1].PhysicalTime(50).String(), http.StatusOK},
+		{"fleet bad date", "/fleet?date=nope", http.StatusBadRequest},
+		{"fleet missing date", "/fleet", http.StatusBadRequest},
+		{"unknown route", "/nope", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+	for _, route := range []string{"/healthz", "/avails", "/query", "/fleet"} {
+		resp, err := http.Post(srv.URL+route, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", route, resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestLogging checks the Options.Logger wiring: one line per
+// request carrying method, path, and status.
+func TestRequestLogging(t *testing.T) {
+	pipe, ext := trainTestPipeline()
+	catalog, err := statusq.NewCatalog(nil, nil, index.KindAVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	srv := httptest.NewServer(New(pipe, ext, catalog, Options{Logger: log.New(&buf, "", 0)}))
+	defer srv.Close()
+	rawBody(t, srv.URL+"/avails", http.StatusOK)
+	rawBody(t, srv.URL+"/query?avail=junk&date=x", http.StatusBadRequest)
+	logged := buf.String()
+	if !strings.Contains(logged, "GET /avails 200") {
+		t.Errorf("missing 200 access log line in %q", logged)
+	}
+	if !strings.Contains(logged, "GET /query?avail=junk&date=x 400") {
+		t.Errorf("missing 400 access log line in %q", logged)
 	}
 }

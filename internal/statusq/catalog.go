@@ -3,6 +3,8 @@ package statusq
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"domd/internal/domain"
 	"domd/internal/index"
@@ -12,11 +14,44 @@ import (
 // of Algorithm 1. It owns one Engine per avail (built lazily or eagerly) so
 // fleet-wide services answer repeated DoMD queries without re-indexing RCC
 // history on every request.
+//
+// Concurrency contract: every method is safe for concurrent use. The avail
+// table is immutable after construction, so lookups (Avail, AvailIDs,
+// OngoingIDs, Kind) are lock-free. RCC histories and the engine cache are
+// guarded by an RWMutex; engine construction is single-flight per avail, so
+// N concurrent first queries build one engine, not N. AddRCC appends to the
+// history and invalidates the avail's cached engine; queries racing an
+// AddRCC may still be answered from the pre-append snapshot, but any
+// Engine call that starts after AddRCC returns observes the new RCC.
 type Catalog struct {
-	kind    index.Kind
-	avails  map[int]*domain.Avail
+	kind   index.Kind
+	avails map[int]*domain.Avail // immutable after NewCatalog
+
+	mu      sync.RWMutex // guards rccs and engines
 	rccs    map[int][]domain.RCC
-	engines map[int]*Engine
+	engines map[int]*engineSlot
+
+	builds atomic.Int64
+}
+
+// engineSlot is the single-flight construction cell for one avail's engine.
+// The slot snapshots the RCC history at reservation time; sync.Once
+// guarantees exactly one NewEngine call per slot no matter how many
+// goroutines race on the first query. AddRCC replaces the slot wholesale,
+// so a stale slot keeps serving its consistent snapshot until dropped.
+type engineSlot struct {
+	once  sync.Once
+	avail *domain.Avail
+	rccs  []domain.RCC
+	eng   *Engine
+	err   error
+}
+
+func (s *engineSlot) build(c *Catalog) {
+	s.once.Do(func() {
+		c.builds.Add(1)
+		s.eng, s.err = NewEngine(s.avail, s.rccs, c.kind)
+	})
 }
 
 // NewCatalog indexes the avails table. RCCs referencing unknown avails are
@@ -29,7 +64,7 @@ func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Cat
 		kind:    kind,
 		avails:  make(map[int]*domain.Avail, len(avails)),
 		rccs:    make(map[int][]domain.RCC),
-		engines: make(map[int]*Engine),
+		engines: make(map[int]*engineSlot),
 	}
 	for i := range avails {
 		a := &avails[i]
@@ -50,6 +85,9 @@ func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Cat
 	return c, nil
 }
 
+// Kind reports the time-index design the catalog builds engines with.
+func (c *Catalog) Kind() index.Kind { return c.kind }
+
 // Avail returns the avail record by id.
 func (c *Catalog) Avail(id int) (*domain.Avail, bool) {
 	a, ok := c.avails[id]
@@ -68,7 +106,7 @@ func (c *Catalog) AvailIDs() []int {
 
 // OngoingIDs lists ids of avails still executing, ascending.
 func (c *Catalog) OngoingIDs() []int {
-	var ids []int
+	ids := []int{}
 	for id, a := range c.avails {
 		if a.Status == domain.StatusOngoing {
 			ids = append(ids, id)
@@ -79,24 +117,43 @@ func (c *Catalog) OngoingIDs() []int {
 }
 
 // RCCs returns the avail's RCC history (shared slice; do not mutate).
-func (c *Catalog) RCCs(id int) []domain.RCC { return c.rccs[id] }
+func (c *Catalog) RCCs(id int) []domain.RCC {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rccs[id]
+}
 
 // Engine returns (building on first use) the avail's Status Query engine.
+// Construction is single-flight: concurrent callers for the same avail
+// share one build, and the losers block until it finishes.
 func (c *Catalog) Engine(id int) (*Engine, error) {
-	if e, ok := c.engines[id]; ok {
-		return e, nil
+	c.mu.RLock()
+	slot := c.engines[id]
+	c.mu.RUnlock()
+	if slot == nil {
+		a, ok := c.avails[id]
+		if !ok {
+			return nil, fmt.Errorf("statusq: unknown avail %d", id)
+		}
+		c.mu.Lock()
+		slot = c.engines[id]
+		if slot == nil {
+			// Snapshot the history: AddRCC only ever appends past the
+			// snapshot's length (or reallocates), so the engine's view
+			// stays consistent without holding the lock during the build.
+			slot = &engineSlot{avail: a, rccs: c.rccs[id]}
+			c.engines[id] = slot
+		}
+		c.mu.Unlock()
 	}
-	a, ok := c.avails[id]
-	if !ok {
-		return nil, fmt.Errorf("statusq: unknown avail %d", id)
-	}
-	e, err := NewEngine(a, c.rccs[id], c.kind)
-	if err != nil {
-		return nil, err
-	}
-	c.engines[id] = e
-	return e, nil
+	slot.build(c)
+	return slot.eng, slot.err
 }
+
+// EngineBuilds reports how many engine constructions the catalog has
+// performed — the observable that serving paths reuse cached engines
+// instead of re-indexing per request.
+func (c *Catalog) EngineBuilds() int64 { return c.builds.Load() }
 
 // Eval answers a Status Query for one avail at logical time ts.
 func (c *Catalog) Eval(id int, ts float64, q Query) (float64, error) {
@@ -108,18 +165,20 @@ func (c *Catalog) Eval(id int, ts float64, q Query) (float64, error) {
 }
 
 // AddRCC appends a newly created RCC (e.g. an approved contract change) to
-// its avail, updating the live engine if one exists — the mutation path a
-// deployed SMDII back end needs as RCCs stream in.
+// its avail, invalidating the cached engine — the mutation path a deployed
+// SMDII back end needs as RCCs stream in. The next Engine call rebuilds
+// from the extended history; in-flight queries holding the old engine keep
+// their consistent pre-append snapshot.
 func (c *Catalog) AddRCC(r domain.RCC) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.avails[r.AvailID]; !ok {
 		return fmt.Errorf("statusq: rcc %d references unknown avail %d", r.ID, r.AvailID)
 	}
 	c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
-	// Rebuild the engine lazily on next use; dropping it is simpler and
-	// safe because engines hold positional indexes into the old slice.
 	delete(c.engines, r.AvailID)
 	return nil
 }

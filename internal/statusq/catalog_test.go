@@ -1,6 +1,8 @@
 package statusq
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"domd/internal/domain"
@@ -130,5 +132,113 @@ func TestCatalogValidation(t *testing.T) {
 	bad := []domain.Avail{{ID: 1, PlanStart: 10, PlanEnd: 5}}
 	if _, err := NewCatalog(bad, nil, index.KindAVL); err == nil {
 		t.Error("invalid avail: want error")
+	}
+}
+
+func TestCatalogEngineSingleFlight(t *testing.T) {
+	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+	const n = 32
+	engines := make([]*Engine, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			e, err := c.Engine(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = e
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := c.EngineBuilds(); got != 1 {
+		t.Errorf("%d concurrent first queries built %d engines, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent callers got different engines")
+		}
+	}
+}
+
+// TestCatalogConcurrentMix is the package-level -race gate: Engine, Eval,
+// RCCs, and AddRCC from many goroutines at once. The pre-fix Catalog fails
+// here with a concurrent-map-write panic.
+func TestCatalogConcurrentMix(t *testing.T) {
+	c, ds := catalogFixture(t)
+	ids := c.AvailIDs()
+	q := Query{Status: domain.Created, Agg: Count}
+	var wg sync.WaitGroup
+	var nextID atomic.Int64
+	nextID.Store(5_000_000)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := ids[(w+i)%len(ids)]
+				if _, err := c.Eval(id, float64(10+(i%9)*10), q); err != nil {
+					t.Errorf("Eval(%d): %v", id, err)
+					return
+				}
+				_ = c.RCCs(id)
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := ids[(w+i)%len(ids)]
+				a, _ := c.Avail(id)
+				r := domain.RCC{
+					ID: int(nextID.Add(1)), AvailID: id, Type: domain.Growth,
+					SWLIN:   43411001,
+					Created: a.ActStart + 1, Settled: a.ActStart + 20, Amount: 100,
+				}
+				if err := c.AddRCC(r); err != nil {
+					t.Errorf("AddRCC(%d): %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = ds
+}
+
+// TestCatalogAddRCCInvalidatesEngine pins the read-your-writes guarantee:
+// an Engine call that starts after AddRCC returns sees the new RCC.
+func TestCatalogAddRCCInvalidatesEngine(t *testing.T) {
+	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+	e1, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Avail(id)
+	add := domain.RCC{
+		ID: 9_000_000, AvailID: id, Type: domain.Growth, SWLIN: 43411001,
+		Created: a.ActStart + 1, Settled: a.ActStart + 30, Amount: 1,
+	}
+	if err := c.AddRCC(add); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Fatal("AddRCC did not invalidate the cached engine")
+	}
+	if e2.NumRCCs() != e1.NumRCCs()+1 {
+		t.Errorf("rebuilt engine has %d RCCs, want %d", e2.NumRCCs(), e1.NumRCCs()+1)
 	}
 }
