@@ -5,7 +5,7 @@ GO ?= go
 STRESS_COUNT ?= 3
 STRESS_TIMEOUT ?= 10m
 
-.PHONY: build vet test race stress check bench
+.PHONY: build vet test race stress lint check bench
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,19 @@ stress:
 		-run 'Concurrent|SingleFlight|CachedEngine' \
 		./internal/server/ ./internal/statusq/ ./internal/index/
 
-# check is the CI gate: compile, vet, race-test everything, then repeat the
-# concurrency stress suite.
+# lint runs domdlint, the project's invariant analyzers (internal/lint):
+# lockguard, detrange, floateq, walltime, droppederr, ctxflow. Non-zero
+# exit on any finding; suppress a deliberate violation with
+# `//lint:ignore <analyzer> <reason>` (see DESIGN.md "Enforced
+# invariants").
+lint:
+	$(GO) run ./cmd/domdlint ./...
+
+# check is the CI gate: compile, vet, race-test everything, repeat the
+# concurrency stress suite, then enforce the lint invariants (domdlint
+# must exit 0 on the tree).
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) lint
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

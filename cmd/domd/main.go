@@ -99,6 +99,16 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	return c
 }
 
+// parseFlags parses one sub-command's flags. The flag sets use
+// flag.ExitOnError, so Parse only ever returns nil, but the error is
+// handled anyway: silently dropping it would hide a future switch to
+// ContinueOnError.
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func load(c *commonFlags) ([]domain.Avail, []domain.RCC) {
 	af, err := os.Open(c.availsPath)
 	if err != nil {
@@ -165,7 +175,7 @@ func trainPipeline(c *commonFlags, tensor *features.Tensor, sp split.Splits) *co
 			log.Fatal(err)
 		}
 		if err := p.Save(f); err != nil {
-			f.Close()
+			f.Close() //lint:ignore droppederr best-effort close; the Save failure is already fatal
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -181,7 +191,7 @@ func runQuery(args []string) {
 	c := addCommon(fs)
 	availID := fs.Int("avail", 0, "avail id to query")
 	date := fs.String("date", "", "physical query date (YYYY-MM-DD)")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	if *availID == 0 || *date == "" {
 		log.Fatal("query requires -avail and -date")
 	}
@@ -233,7 +243,7 @@ func runQuery(args []string) {
 func runEvaluate(args []string) {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	c := addCommon(fs)
-	fs.Parse(args)
+	parseFlags(fs, args)
 	avails, rccs := load(c)
 	_, tensor, sp := buildTensor(c, avails, rccs)
 	p := trainPipeline(c, tensor, sp)
@@ -253,7 +263,7 @@ func runDesign(args []string) {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	c := addCommon(fs)
 	quick := fs.Bool("quick", false, "use reduced grids for a fast design pass")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	avails, rccs := load(c)
 	_, tensor, sp := buildTensor(c, avails, rccs)
 
@@ -301,7 +311,7 @@ func runServe(args []string) {
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	fleetPar := fs.Int("fleet-parallel", server.DefaultFleetParallelism, "max avails one /fleet request queries concurrently")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	avails, rccs := load(c)
 	ext, tensor, sp := buildTensor(c, avails, rccs)
 	p := trainPipeline(c, tensor, sp)
@@ -352,7 +362,7 @@ func runBacktest(args []string) {
 	c := addCommon(fs)
 	folds := fs.Int("folds", 3, "number of walk-forward test blocks")
 	minTrain := fs.Int("min-train", 30, "minimum training avails before the first cutoff")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	avails, rccs := load(c)
 	_, tensor, _ := buildTensor(c, avails, rccs)
 
@@ -386,7 +396,7 @@ func runImportances(args []string) {
 	fs := flag.NewFlagSet("importances", flag.ExitOnError)
 	c := addCommon(fs)
 	topN := fs.Int("top", 15, "number of features to print")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	avails, rccs := load(c)
 	_, tensor, sp := buildTensor(c, avails, rccs)
 	p := trainPipeline(c, tensor, sp)
@@ -421,7 +431,7 @@ func runDrift(args []string) {
 	liveRCCs := fs.String("live-rccs", "", "live RCC table CSV")
 	tstar := fs.Float64("tstar", 50, "logical time at which to compare feature distributions")
 	topN := fs.Int("top", 10, "number of drifting features to print")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	if *liveAvails == "" || *liveRCCs == "" {
 		log.Fatal("drift requires -live-avails and -live-rccs")
 	}

@@ -63,7 +63,7 @@ func main() {
 				log.Fatal(err)
 			}
 			if err := obfuscate.SaveKey(f, key); err != nil {
-				f.Close()
+				f.Close() //lint:ignore droppederr best-effort close; the SaveKey failure is already fatal
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -102,7 +102,7 @@ func writeCSV(path string, write func(*os.File) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		f.Close() //lint:ignore droppederr best-effort close; the write error is being returned
 		return err
 	}
 	return f.Close()

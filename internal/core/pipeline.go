@@ -591,7 +591,7 @@ func (p *Pipeline) GlobalImportances() map[string]float64 {
 		s := &p.slots[k]
 		imp := s.model.Importances()
 		for j, v := range imp {
-			if v == 0 {
+			if v == 0 { //lint:ignore floateq zero is the exact "feature unused" sentinel from Importances
 				continue
 			}
 			if j < len(s.cols) {
@@ -603,7 +603,7 @@ func (p *Pipeline) GlobalImportances() map[string]float64 {
 	}
 	if p.staticModel != nil {
 		for j, v := range p.staticModel.Importances() {
-			if v != 0 && j < features.NumStatic {
+			if v != 0 && j < features.NumStatic { //lint:ignore floateq zero is the exact "feature unused" sentinel from Importances
 				add(p.names[j], v)
 			}
 		}

@@ -1,0 +1,50 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDeterministicOrdering is the detrange regression gate: the feature
+// registry is built by nested slice loops (never a map sweep), so two
+// independent builds must agree on name order, and two independent
+// evaluations of the same avail must agree bitwise position-by-position.
+// If registry construction ever regresses into ranging over a map, this
+// fails on the first mismatched run.
+func TestDeterministicOrdering(t *testing.T) {
+	e1, e2 := NewExtractor(), NewExtractor()
+	n1, n2 := e1.Names(), e2.Names()
+	if len(n1) != len(n2) {
+		t.Fatalf("name counts differ across builds: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("feature %d named %q in one build, %q in another", i, n1[i], n2[i])
+		}
+	}
+
+	v1, err := e1.DynamicVector(fixture(t), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e2.DynamicVector(fixture(t), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("vector lengths differ: %d vs %d", len(v1), len(v2))
+	}
+	nonzero := 0
+	for i := range v1 {
+		if math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+			t.Fatalf("feature %d (%s) differs bitwise across identical builds: %v vs %v",
+				i, e1.DynamicNames()[i], v1[i], v2[i])
+		}
+		if v1[i] != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("fixture produced an all-zero vector; the comparison proves nothing")
+	}
+}

@@ -68,7 +68,7 @@ func (r Recency) Fuse(preds []float64) (float64, error) {
 		return 0, err
 	}
 	lambda := r.Lambda
-	if lambda == 0 {
+	if lambda == 0 { //lint:ignore floateq the zero value selects the default λ; no arithmetic precedes it
 		lambda = 0.7
 	}
 	var sum, wsum float64

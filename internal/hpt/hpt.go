@@ -290,7 +290,7 @@ func sampleFromParzen(rng *rand.Rand, p Param, good []Trial) float64 {
 		for _, tr := range good {
 			v := tr.Config[p.Name]
 			for i, c := range p.Choices {
-				if c == v {
+				if c == v { //lint:ignore floateq categorical choices round-trip through Config unmodified, so equality is exact
 					weights[i]++
 				}
 			}
@@ -332,7 +332,7 @@ func logDensity(p Param, obs []Trial, v float64) float64 {
 	if p.Kind == Categorical {
 		count := 1.0 // add-one smoothing
 		for _, tr := range obs {
-			if tr.Config[p.Name] == v {
+			if tr.Config[p.Name] == v { //lint:ignore floateq categorical choices round-trip through Config unmodified, so equality is exact
 				count++
 			}
 		}

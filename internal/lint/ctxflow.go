@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces request-context threading: any function that receives
+// an *http.Request (handlers, and by extension the closures they spawn
+// for fleet fan-out) must not mint a fresh context.Background() or
+// context.TODO() — doing so detaches downstream work from client
+// cancellation, which is exactly how a /fleet fan-out outlives its
+// disconnected caller. Thread r.Context() instead. main-style setup code
+// without a request in scope is unaffected.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "HTTP handlers must thread r.Context(), never context.Background()/TODO()",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(ftype *ast.FuncType, body *ast.BlockStmt, name string) {
+			if !hasRequestParam(p, ftype) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, fn, ok := pkgFunc(p, call); ok && pkg == "context" && (fn == "Background" || fn == "TODO") {
+					p.Reportf(call.Pos(), "context.%s inside %s, which receives an *http.Request; thread r.Context() instead", fn, name)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// hasRequestParam reports whether the function signature includes a
+// *net/http.Request parameter.
+func hasRequestParam(p *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok && namedIs(ptr.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}

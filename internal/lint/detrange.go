@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrangePackages are the determinism-critical package families: the
+// Status Query engines, the 1452-feature transformation T, the models,
+// and the split/fusion stages whose outputs must be bitwise-reproducible
+// run-to-run (serial == parallel is differential-tested; map iteration
+// order is the classic way to lose it).
+var detrangePackages = []string{"statusq", "features", "ml", "gbt", "tree", "loss", "linear", "split", "fusion"}
+
+// Detrange flags `range` over a map inside determinism-critical packages
+// when the loop body accumulates order-sensitive output: appending to a
+// slice declared outside the loop (unless the slice is sorted by a
+// statement after the loop in the same block) or writing to an
+// output/encoder. Go randomizes map iteration order, so such loops make
+// feature vectors, tensors, and JSON bodies differ run-to-run.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "no order-sensitive map iteration in determinism-critical packages (statusq, features, ml, split, fusion)",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, detrangePackages...)
+	},
+	Run: runDetrange,
+}
+
+func runDetrange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				for {
+					if ls, ok := stmt.(*ast.LabeledStmt); ok {
+						stmt = ls.Stmt
+						continue
+					}
+					break
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkMapRange(p, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one map-ranging loop; rest holds the statements
+// following the loop in its enclosing block (where a de-randomizing sort
+// may appear).
+func checkMapRange(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(x.Lhs) {
+					continue
+				}
+				target := rootIdentObj(p, x.Lhs[i])
+				if target == nil || !declaredOutside(target, rs) {
+					continue
+				}
+				if sortedAfter(p, rest, target) {
+					continue
+				}
+				p.Reportf(x.Pos(), "map iteration order is random: append to %s inside `range` over a map without a subsequent sort", target.Name())
+			}
+		case *ast.CallExpr:
+			if isOutputCall(p, x) {
+				p.Reportf(x.Pos(), "map iteration order is random: output written inside `range` over a map")
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdentObj resolves the assigned variable (unwrapping selectors and
+// index expressions down to the base identifier).
+func rootIdentObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// sortedAfter reports whether a later statement in the same block sorts
+// the accumulated slice (sort.Xs(ids), sort.Slice(ids, ...), or
+// slices.Sort*(ids)) — the sanctioned way to de-randomize a map sweep.
+func sortedAfter(p *Pass, rest []ast.Stmt, target types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, okc := pkgFunc(p, call)
+			if !okc || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == target {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isOutputCall matches writes whose order becomes externally observable:
+// the fmt print family and Write/Encode-style methods.
+func isOutputCall(p *Pass, call *ast.CallExpr) bool {
+	if pkg, name, ok := pkgFunc(p, call); ok {
+		if pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println" ||
+			name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+			return true
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selection := p.Pkg.Info.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	name := sel.Sel.Name
+	return name == "Write" || name == "WriteString" || name == "WriteByte" ||
+		name == "WriteRune" || name == "Encode"
+}

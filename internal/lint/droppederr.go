@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Droppederr flags discarded error results in non-test code: `_ = f()`
+// (including the `_ = json.NewEncoder(w).Encode(v)` pattern that loses
+// client write failures), blank identifiers in error positions of
+// multi-assignments, and bare call statements whose results include an
+// error. The fmt print family and the never-failing strings.Builder /
+// bytes.Buffer writers are exempt; `defer f.Close()` and `go f()` are
+// conventionally tolerated. A deliberate drop (e.g. best-effort Close on
+// an already-failing path) takes `//lint:ignore droppederr <reason>`.
+var Droppederr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no discarded error results (blank assignments or bare calls returning error)",
+	Run:  runDroppederr,
+}
+
+func runDroppederr(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignDrop(p, x)
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if te := droppedErrType(p, call); te != "" && !errExempt(p, call) {
+						p.Reportf(x.Pos(), "%s returns %s whose error is discarded; handle or log it", calleeName(p, call), te)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDrop flags blank identifiers bound to error values.
+func checkAssignDrop(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f() — match blank positions against the result tuple.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || errExempt(p, call) {
+			return
+		}
+		tuple, ok := p.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of %s assigned to _; handle or log it", calleeName(p, call))
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		if !isErrorType(p.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if errExempt(p, call) {
+				continue
+			}
+			p.Reportf(lhs.Pos(), "error result of %s assigned to _; handle or log it", calleeName(p, call))
+			continue
+		}
+		p.Reportf(lhs.Pos(), "error value assigned to _; handle or log it")
+	}
+}
+
+// droppedErrType reports the error-ish part of call's result type ("" if
+// none): "an error" for single results, "a result tuple" when the error
+// rides along other values.
+func droppedErrType(p *Pass, call *ast.CallExpr) string {
+	switch t := p.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return "a result tuple"
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return "an error"
+		}
+	}
+	return ""
+}
+
+// errExempt lists callees whose dropped errors are conventional: the fmt
+// print family and writers documented to never fail.
+func errExempt(p *Pass, call *ast.CallExpr) bool {
+	if pkg, name, ok := pkgFunc(p, call); ok {
+		return pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println" ||
+			name == "Fprint" || name == "Fprintf" || name == "Fprintln")
+	}
+	if recv, ok := methodRecvNamed(p, call); ok && recv.Obj().Pkg() != nil {
+		path, name := recv.Obj().Pkg().Path(), recv.Obj().Name()
+		return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	default:
+		return "call"
+	}
+}

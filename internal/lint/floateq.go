@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// floateqWhitelist names files (by base name) in which exact float
+// comparison is wholesale-sanctioned — e.g. a differential test harness
+// whose entire point is bitwise equality. Prefer per-site
+// `//lint:ignore floateq <reason>` directives; the whitelist exists for
+// files where that would drown the code.
+var floateqWhitelist = map[string]bool{}
+
+// Floateq flags == and != between floating-point operands. Exact float
+// equality silently breaks under re-association (the parallel tensor
+// build), constant folding, and platform FMA differences; comparisons
+// should use an epsilon, math.Signbit, or integer/logical keys. The NaN
+// self-comparison idiom (x != x) is allowed, as are compile-time constant
+// comparisons.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no == / != on floating-point operands (use epsilons or exact integer keys)",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		pos := p.Pkg.Fset.Position(f.Pos())
+		if floateqWhitelist[filepath.Base(pos.Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tvX, okX := p.Pkg.Info.Types[be.X]
+			tvY, okY := p.Pkg.Info.Types[be.Y]
+			if !okX || !okY {
+				return true
+			}
+			if !isFloat(tvX.Type) && !isFloat(tvY.Type) {
+				return true
+			}
+			// Both operands constant: folded at compile time, no runtime
+			// float comparison happens.
+			if tvX.Value != nil && tvY.Value != nil {
+				return true
+			}
+			// x != x / x == x is the portable NaN test.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison (%s %s %s); use an epsilon or an exact integer key",
+				be.Op, types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture harness needs (declared here
+// so the lint package itself does not import testing).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRe matches expectation comments in fixture files:
+//
+//	x := readUnlocked() // want `guarded by mu`
+//
+// Each backquoted or double-quoted string is a regexp one diagnostic on
+// that line must match; each expectation must be matched exactly once.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// CheckFixture loads the fixture package rooted at dir (a directory or
+// "dir/..." pattern of packages whose files carry `// want` comments),
+// runs the analyzers over it, and asserts that diagnostics and
+// expectations match one-to-one per line. It returns the diagnostics for
+// further assertions.
+func CheckFixture(t TB, dir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("lint fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("lint fixture %s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	diags := Run(pkgs, analyzers)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("lint fixture %s: %v", pkg.PkgPath, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// collectWants parses `// want` comments out of a fixture package.
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := unquoteWant(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func unquoteWant(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	// Double-quoted: undo the two escapes the harness documents.
+	body := s[1 : len(s)-1]
+	body = strings.ReplaceAll(body, `\"`, `"`)
+	body = strings.ReplaceAll(body, `\\`, `\`)
+	return body, nil
+}
+
+// fileOf returns the syntax tree containing pos, for analyzers and tests
+// that need file-scoped context.
+func fileOf(pkg *Package, pos ast.Node) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= pos.Pos() && pos.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathHasSegment reports whether any "/"-separated segment of pkgPath is
+// in segs. Analyzers use it to scope themselves to package families (the
+// fixture packages under testdata/src/<analyzer>/<segment> match the same
+// way the real packages do).
+func pathHasSegment(pkgPath string, segs ...string) bool {
+	for _, part := range strings.Split(pkgPath, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call to a package-level function of an imported
+// package, returning the package path and function name, e.g.
+// ("time", "Now") for time.Now().
+func pkgFunc(p *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodRecvNamed returns the named type of the receiver when call is a
+// method call (value or pointer receiver).
+func methodRecvNamed(p *Pass, call *ast.CallExpr) (*types.Named, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	selection := p.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil, false
+	}
+	return namedOf(selection.Recv())
+}
+
+// namedOf unwraps pointers and aliases down to a named type.
+func namedOf(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		t = types.Unalias(alias)
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// namedIs reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func namedIs(t types.Type, pkgPath, name string) bool {
+	n, ok := namedOf(t)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isErrorType reports whether t is the error interface or a type
+// implementing it (dropping any such result loses failure information).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// funcBodies yields every function body in the file along with its
+// parameter list: declarations and literals, outermost first.
+func funcBodies(f *ast.File, visit func(ftype *ast.FuncType, body *ast.BlockStmt, name string)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Type, fn.Body, fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			visit(fn.Type, fn.Body, "func literal")
+		}
+		return true
+	})
+}

@@ -1,0 +1,205 @@
+// Package lint implements domdlint, the project's static-analysis pass.
+// It machine-checks the conventions the DoMD pipeline's correctness rests
+// on but the compiler cannot see: comment-declared mutex guards
+// (lockguard), deterministic map iteration in the feature/tensor packages
+// (detrange), no exact float comparisons (floateq), no wall-clock time or
+// global RNG in pipeline code (walltime), no silently dropped errors
+// (droppederr), and request-context threading in HTTP serving paths
+// (ctxflow).
+//
+// Everything is built on the standard library only (go/parser, go/types,
+// go/importer, go/token) — the module has zero dependencies and must stay
+// that way. A finding is suppressed by the comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant check. Run inspects a single package through
+// the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives.
+	Name string
+	// Doc is the one-line description shown by `domdlint -list`.
+	Doc string
+	// AppliesTo optionally restricts the analyzer to some packages; nil
+	// means every package.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package.
+	Run func(p *Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Lockguard, Detrange, Floateq, Walltime, Droppederr, Ctxflow,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" selects all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass carries one (package, analyzer) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil when the checker has none
+// (analyzers must tolerate nil: type info can be partial on TypeErrors).
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics sorted by position, with //lint:ignore-suppressed and
+// duplicate findings removed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ignores.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe identical findings (e.g. one call site reached through two
+	// overlapping inspection scopes).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([\w,]+)(?:\s+(.*))?$`)
+
+// ignoreKey locates one suppression directive.
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// collectIgnores gathers //lint:ignore directives per file and line.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					set[ignoreKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive on the diagnostic's line or the
+// line directly above names its analyzer (or "all").
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[ignoreKey{d.Pos.Filename, line, d.Analyzer}] ||
+			s[ignoreKey{d.Pos.Filename, line, "all"}] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"domd/internal/lint"
+)
+
+// Per-analyzer fixture tests: each analyzer must fire on its seeded
+// violations (and only those) in testdata/src. The lockguard fixture
+// reproduces the pre-PR-2 unlocked-Catalog access pattern.
+
+func TestLockguardFixture(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/lockguard", lint.Lockguard)
+	if len(diags) != 4 {
+		t.Errorf("lockguard fixture: got %d diagnostics, want 4", len(diags))
+	}
+}
+
+func TestDetrangeFixture(t *testing.T) {
+	lint.CheckFixture(t, "testdata/src/detrange/features", lint.Detrange)
+}
+
+func TestFloateqFixture(t *testing.T) {
+	lint.CheckFixture(t, "testdata/src/floateq", lint.Floateq)
+}
+
+func TestWalltimeFixture(t *testing.T) {
+	lint.CheckFixture(t, "testdata/src/walltime/split", lint.Walltime)
+}
+
+func TestDroppederrFixture(t *testing.T) {
+	lint.CheckFixture(t, "testdata/src/droppederr", lint.Droppederr)
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	lint.CheckFixture(t, "testdata/src/ctxflow", lint.Ctxflow)
+}
+
+// TestScopedAnalyzersApplyToFixtures guards the path-segment scoping: the
+// detrange and walltime fixtures only work because their directories
+// carry a determinism-critical segment, so a rename would silently turn
+// both fixture tests into no-ops.
+func TestScopedAnalyzersApplyToFixtures(t *testing.T) {
+	cases := []struct {
+		a    *lint.Analyzer
+		path string
+	}{
+		{lint.Detrange, "domd/internal/lint/testdata/src/detrange/features"},
+		{lint.Detrange, "domd/internal/statusq"},
+		{lint.Walltime, "domd/internal/lint/testdata/src/walltime/split"},
+		{lint.Walltime, "domd/internal/ml/gbt"},
+	}
+	for _, c := range cases {
+		if !c.a.AppliesTo(c.path) {
+			t.Errorf("%s should apply to %s", c.a.Name, c.path)
+		}
+	}
+	off := []struct {
+		a    *lint.Analyzer
+		path string
+	}{
+		{lint.Detrange, "domd/internal/server"},
+		{lint.Walltime, "domd/internal/server"},
+		{lint.Walltime, "domd/internal/experiments"},
+	}
+	for _, c := range off {
+		if c.a.AppliesTo(c.path) {
+			t.Errorf("%s should not apply to %s", c.a.Name, c.path)
+		}
+	}
+}
+
+// TestLoadSkipsTestdata: "./..." from this directory must load only the
+// lint package itself — the seeded-violation fixtures live in testdata
+// and must never leak into a real lint run.
+func TestLoadSkipsTestdata(t *testing.T) {
+	pkgs, err := lint.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "domd/internal/lint" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.PkgPath)
+		}
+		t.Fatalf("Load(./...) = %v, want exactly [domd/internal/lint]", paths)
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("lint package has type errors: %v", pkgs[0].TypeErrors)
+	}
+}
+
+// TestRealTreeClean is the gate the Makefile's lint stage relies on: every
+// analyzer must report zero diagnostics over the real module tree. It runs
+// the analyzers one at a time so a regression names the offender.
+func TestRealTreeClean(t *testing.T) {
+	root, _, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from the module tree; the walk looks broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	sawInternal := false
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.PkgPath, "/internal/") {
+			sawInternal = true
+		}
+		if strings.Contains(pkg.PkgPath, "testdata") {
+			t.Errorf("testdata package %s leaked into the module walk", pkg.PkgPath)
+		}
+	}
+	if !sawInternal {
+		t.Fatal("module walk found no internal packages")
+	}
+	for _, a := range lint.All() {
+		diags := lint.Run(pkgs, []*lint.Analyzer{a})
+		for _, d := range diags {
+			t.Errorf("%s must be clean on the real tree: %s", a.Name, d)
+		}
+	}
+}
+
+// TestByName covers the analyzer-subset flag parsing of cmd/domdlint.
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	}
+	two, err := lint.ByName("floateq, walltime")
+	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "walltime" {
+		t.Fatalf("ByName subset failed: %v %v", two, err)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

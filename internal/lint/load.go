@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit analyzers run
+// over. Test files (*_test.go) are excluded: the invariants domdlint
+// enforces are production-code conventions, and skipping them keeps the
+// loader free of external-test-package bookkeeping.
+type Package struct {
+	// PkgPath is the import path (modulePath + "/" + dir for module
+	// packages, including testdata fixtures loaded by explicit dir).
+	PkgPath string
+	// Name is the package clause name.
+	Name string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset is the file set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the checked package (possibly incomplete on TypeErrors).
+	Types *types.Package
+	// Info carries the type-checker's expression/object maps.
+	Info *types.Info
+	// TypeErrors collects type-check errors; analyzers still run on a
+	// package with errors, but callers should surface them (partial type
+	// info silently weakens every type-driven check).
+	TypeErrors []error
+}
+
+// loader resolves, parses, and type-checks module packages in dependency
+// order using only the standard library. Module-internal imports are
+// type-checked from source; standard-library imports go through
+// importer.Default with a from-source fallback, cached per path.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+
+	pkgs    map[string]*Package // module-internal, by import path
+	loading map[string]bool     // import-cycle guard
+
+	stdCache map[string]*types.Package
+	std      types.Importer // importer.Default()
+	stdSrc   types.Importer // from-source fallback
+}
+
+// Load expands the given package patterns (a directory, or a directory
+// pattern ending in "/..." which walks recursively skipping testdata,
+// vendor, and hidden directories), then parses and type-checks each
+// matched package plus its module-internal dependencies. Relative
+// patterns resolve against the current working directory; the enclosing
+// module is discovered by walking up to go.mod.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	moduleDir, modulePath, err := FindModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:       fset,
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		stdCache:   make(map[string]*types.Package),
+		std:        importer.Default(),
+		stdSrc:     importer.ForCompiler(fset, "source", nil),
+	}
+
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		expanded, err := expandPattern(cwd, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (moduleDir, modulePath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPattern turns one pattern into absolute package directories.
+func expandPattern(cwd, pat string) ([]string, error) {
+	recursive := false
+	if pat == "..." {
+		pat, recursive = ".", true
+	} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		pat, recursive = rest, true
+		if pat == "" {
+			pat = "/"
+		}
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+	}
+	if !recursive {
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.moduleDir)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor inverts importPathFor for module-internal import paths.
+func (l *loader) dirFor(path string) string {
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	rel := strings.TrimPrefix(path, l.modulePath+"/")
+	return filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+}
+
+func (l *loader) isModulePath(path string) bool {
+	return path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+}
+
+// load parses and type-checks the package in dir (memoized).
+func (l *loader) load(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		if !isSourceFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	// Pre-load module-internal dependencies so the type-checker's import
+	// callback always finds them checked (Go forbids import cycles, so
+	// the recursion terminates).
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if l.isModulePath(ip) {
+				if _, err := l.load(l.dirFor(ip)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	p := &Package{
+		PkgPath: path,
+		Name:    pkgName,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check reports the first hard error through conf.Error as well, so
+	// its return error is redundant with TypeErrors; the (possibly
+	// incomplete) package is still usable for analysis.
+	//lint:ignore droppederr Check reports through conf.Error; its return duplicates TypeErrors
+	p.Types, _ = conf.Check(path, l.fset, files, p.Info)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// importPkg resolves one import for the type checker: module-internal
+// packages from source, everything else through the standard importers.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModulePath(path) {
+		p, err := l.load(l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if p, ok := l.stdCache[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		// Export data unavailable (e.g. pristine build cache): fall back
+		// to type-checking the dependency from GOROOT source.
+		p, err = l.stdSrc.Import(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l.stdCache[path] = p
+	return p, nil
+}

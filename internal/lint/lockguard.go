@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces comment-declared mutex guards, the convention
+// statusq.Catalog documents as
+//
+//	mu      sync.RWMutex // guards rccs and engines
+//	rccs    map[int][]domain.RCC
+//
+// (equivalently, a guarded field may carry `// guarded by mu`). Every
+// function that reads or writes a guarded field must contain a Lock or
+// RLock call on the declared mutex. Functions that construct the owning
+// struct with a composite literal are exempt — a value that has not
+// escaped its constructor cannot race. This machine-checks the exact
+// class of unlocked-Catalog access the PR-2 race fixes removed.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields documented as `guards X` / `guarded by mu` must only be accessed under that mutex",
+	Run:  runLockguard,
+}
+
+var (
+	guardsRe    = regexp.MustCompile(`\bguards\s+(.+)`)
+	guardedByRe = regexp.MustCompile(`\bguarded by\s+(\w+)`)
+)
+
+// guardDecl records one guarded field: which mutex protects it and which
+// struct owns both.
+type guardDecl struct {
+	mutex *types.Var
+	owner *types.TypeName
+}
+
+func runLockguard(p *Pass) {
+	guards := map[*types.Var]guardDecl{}
+	mutexes := map[*types.Var]bool{}
+	for _, f := range p.Pkg.Files {
+		collectGuards(p, f, guards, mutexes)
+	}
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(p, fn, guards, mutexes)
+		}
+	}
+}
+
+// collectGuards parses struct field comments into the guard table.
+func collectGuards(p *Pass, f *ast.File, guards map[*types.Var]guardDecl, mutexes map[*types.Var]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		owner, _ := p.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+		if owner == nil {
+			return true
+		}
+		// Field objects by name, for resolving `guards a and b` lists.
+		fieldObj := map[string]*types.Var{}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
+					fieldObj[name.Name] = v
+				}
+			}
+		}
+		for _, field := range st.Fields.List {
+			text := strings.TrimSpace(field.Doc.Text() + " " + field.Comment.Text())
+			if text == "" || len(field.Names) == 0 {
+				continue
+			}
+			self := fieldObj[field.Names[0].Name]
+			if self == nil {
+				continue
+			}
+			if m := guardsRe.FindStringSubmatch(text); m != nil {
+				for _, g := range parseGuardList(m[1], fieldObj) {
+					guards[g] = guardDecl{mutex: self, owner: owner}
+					mutexes[self] = true
+				}
+			}
+			if m := guardedByRe.FindStringSubmatch(text); m != nil {
+				if mu := fieldObj[m[1]]; mu != nil {
+					guards[self] = guardDecl{mutex: mu, owner: owner}
+					mutexes[mu] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// parseGuardList resolves the field names following `guards`, tolerating
+// commas, "and", and trailing prose (the list stops at the first token
+// that is not a sibling field).
+func parseGuardList(list string, fieldObj map[string]*types.Var) []*types.Var {
+	var out []*types.Var
+	for _, tok := range strings.FieldsFunc(list, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	}) {
+		if tok == "and" {
+			continue
+		}
+		v, ok := fieldObj[tok]
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkGuardedAccesses verifies one top-level function (closures included
+// in its scope: a lock taken in the enclosing function covers them).
+func checkGuardedAccesses(p *Pass, fn *ast.FuncDecl, guards map[*types.Var]guardDecl, mutexes map[*types.Var]bool) {
+	type access struct {
+		pos   token.Pos
+		field *types.Var
+	}
+	var accesses []access
+	locked := map[*types.Var]bool{}
+	constructed := map[*types.TypeName]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := p.Pkg.Info.Uses[x.Sel].(*types.Var); ok {
+				if _, guarded := guards[v]; guarded {
+					accesses = append(accesses, access{x.Sel.Pos(), v})
+				}
+			}
+		case *ast.CallExpr:
+			// recv.mu.Lock() / recv.mu.RLock(): the inner selector names
+			// the mutex field.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					if mu, ok := p.Pkg.Info.Uses[inner.Sel].(*types.Var); ok && mutexes[mu] {
+						locked[mu] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if n, ok := namedOf(p.TypeOf(x)); ok {
+				constructed[n.Obj()] = true
+			}
+		}
+		return true
+	})
+
+	for _, a := range accesses {
+		g := guards[a.field]
+		if locked[g.mutex] || constructed[g.owner] {
+			continue
+		}
+		p.Reportf(a.pos, "%s.%s is guarded by %s; %s accesses it without locking",
+			g.owner.Name(), a.field.Name(), g.mutex.Name(), fn.Name.Name)
+	}
+}

@@ -1,0 +1,42 @@
+// Package ctxflow seeds context-threading violations in HTTP handler
+// shapes.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// BadHandler mints a fresh root context despite holding a request.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background inside BadHandler`
+	defer cancel()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// BadFleet detaches its fan-out goroutine from client cancellation — the
+// exact shape the /fleet endpoint must avoid.
+func BadFleet(w http.ResponseWriter, r *http.Request) {
+	done := make(chan struct{})
+	go func() {
+		ctx := context.TODO() // want `context\.TODO inside BadFleet`
+		_ = ctx
+		close(done)
+	}()
+	<-done
+}
+
+// GoodHandler threads the request context.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// Setup has no request in scope; minting a root context is fine.
+func Setup() context.Context {
+	return context.Background()
+}

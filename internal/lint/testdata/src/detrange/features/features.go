@@ -1,0 +1,56 @@
+// Package features seeds detrange violations: the fixture lives under a
+// "features" path segment so the analyzer treats it as one of the
+// determinism-critical packages.
+package features
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadNames loses feature-name order to the randomized map sweep.
+func BadNames(m map[string]float64) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want `append to names inside .range. over a map without a subsequent sort`
+	}
+	return names
+}
+
+// GoodNames sorts after the sweep, restoring determinism.
+func GoodNames(m map[string]float64) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BadWrite makes the random order externally observable.
+func BadWrite(m map[string]float64) {
+	for k, v := range m {
+		fmt.Printf("%s=%g\n", k, v) // want `output written inside .range. over a map`
+	}
+}
+
+// LocalOnly appends to a slice scoped inside the loop body: no
+// cross-iteration order leaks out.
+func LocalOnly(m map[string][]float64) int {
+	total := 0
+	for _, vs := range m {
+		var local []float64
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// SliceRange ranges over a slice, which iterates in index order.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package droppederr seeds discarded-error violations, including the
+// `_ = json.NewEncoder(w).Encode(v)` pattern the serving path used to
+// have.
+package droppederr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Encode drops the encoder's write error.
+func Encode(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `error result of json\.NewEncoder\(w\)\.Encode assigned to _`
+}
+
+// Bare drops the whole (n, err) result of an io write.
+func Bare(w io.Writer) {
+	w.Write([]byte("x")) // want `w\.Write returns a result tuple whose error is discarded`
+}
+
+// Multi blanks the error position of a multi-value result.
+func Multi(name string) *os.File {
+	f, _ := os.Open(name) // want `error result of os\.Open assigned to _`
+	return f
+}
+
+// Handled threads the error: clean.
+func Handled(w io.Writer) error {
+	if _, err := w.Write([]byte("x")); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PrintOK: the fmt print family is conventionally exempt.
+func PrintOK() {
+	fmt.Println("fine")
+}
+
+// BuilderOK: strings.Builder writes are documented to never fail.
+func BuilderOK() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	return b.String()
+}
+
+// DeferOK: deferred closes are conventionally tolerated.
+func DeferOK(f *os.File) int {
+	defer f.Close()
+	return 0
+}
+
+// Suppressed documents a deliberate best-effort drop.
+func Suppressed(f *os.File) {
+	f.Close() //lint:ignore droppederr best-effort close on an already-failing path
+}

@@ -1,0 +1,44 @@
+// Package floateq seeds exact floating-point comparisons.
+package floateq
+
+import "math"
+
+// Eq is the classic exact-equality bug.
+func Eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// NeqZero compares a computed float against an exact constant.
+func NeqZero(xs []float64) bool {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s != 0 // want `floating-point != comparison`
+}
+
+// Mixed flags float32 too.
+func Mixed(a float32) bool {
+	return a == 1.5 // want `floating-point == comparison`
+}
+
+// NaNIdiom is the portable NaN self-test: allowed.
+func NaNIdiom(x float64) bool {
+	return x != x
+}
+
+// Ints compares integers: allowed.
+func Ints(a, b int) bool { return a == b }
+
+// Epsilon is the sanctioned pattern.
+func Epsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Suppressed documents a deliberate exact comparison.
+func Suppressed(lambda float64) float64 {
+	if lambda == 0 { //lint:ignore floateq the zero value selects the default
+		lambda = 0.7
+	}
+	return lambda
+}

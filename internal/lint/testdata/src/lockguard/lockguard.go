@@ -1,0 +1,78 @@
+// Package lockguard seeds violations of the comment-declared mutex-guard
+// convention. Catalog reproduces the pre-PR-2 statusq.Catalog bug: lazily
+// reading and writing the guarded maps without taking the mutex.
+package lockguard
+
+import "sync"
+
+// Catalog mirrors statusq.Catalog's field layout and guard comment.
+type Catalog struct {
+	kind string
+
+	mu      sync.RWMutex // guards rccs and engines
+	rccs    map[int][]int
+	engines map[int]*int
+}
+
+// NewCatalog constructs the value. The composite literal marks this
+// function as a constructor: the value has not escaped, so the unlocked
+// writes are fine.
+func NewCatalog() *Catalog {
+	c := &Catalog{rccs: map[int][]int{}, engines: map[int]*int{}}
+	c.rccs[1] = []int{1}
+	return c
+}
+
+// Kind touches only unguarded fields.
+func (c *Catalog) Kind() string { return c.kind }
+
+// RCCs reads under the read lock: clean.
+func (c *Catalog) RCCs(id int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rccs[id]
+}
+
+// Engine is the pre-PR-2 race: unlocked lazy read-then-write of both
+// guarded maps.
+func (c *Catalog) Engine(id int) *int {
+	e := c.engines[id] // want `Catalog\.engines is guarded by mu; Engine accesses it without locking`
+	if e == nil {
+		n := len(c.rccs[id]) // want `Catalog\.rccs is guarded by mu; Engine accesses it without locking`
+		e = &n
+		c.engines[id] = e // want `Catalog\.engines is guarded by mu; Engine accesses it without locking`
+	}
+	return e
+}
+
+// AddRCC takes the write lock: clean.
+func (c *Catalog) AddRCC(id, rcc int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rccs[id] = append(c.rccs[id], rcc)
+	delete(c.engines, id)
+}
+
+// Slot exercises the `guarded by` comment form on the field itself.
+type Slot struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// Bad reads without the lock.
+func (s *Slot) Bad() int {
+	return s.val // want `Slot\.val is guarded by mu; Bad accesses it without locking`
+}
+
+// Good locks first.
+func (s *Slot) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+// Suppressed demonstrates the escape hatch for a deliberate violation.
+func (s *Slot) Suppressed() int {
+	//lint:ignore lockguard fixture demo of the suppression convention
+	return s.val
+}

@@ -1,0 +1,31 @@
+// Package split seeds wall-clock and ambient-randomness violations. The
+// fixture lives under a "split" path segment so the analyzer treats it as
+// a pipeline package.
+package split
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClock reads the wall clock inside pipeline code.
+func BadClock() int64 {
+	return time.Now().Unix() // want `wall-clock time\.Now in a pipeline package`
+}
+
+// BadGlobalRand draws from the process-global, unseeded RNG.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in a pipeline package`
+}
+
+// BadShuffle covers the mutation helpers too.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle in a pipeline package`
+}
+
+// GoodSeeded is the sanctioned pattern: an explicit rand.New over a
+// configured seed, with all draws on the local generator.
+func GoodSeeded(seed int64, xs []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

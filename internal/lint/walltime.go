@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// walltimePackages are the pipeline package families where the only
+// admissible clock is logical time t* and the only admissible randomness
+// is an explicitly seeded rand.New(rand.NewSource(seed)) (split.Config.Seed
+// and friends). Serving and experiment-harness packages (server,
+// experiments, cmd, examples) legitimately measure wall time and are out
+// of scope.
+var walltimePackages = []string{
+	"statusq", "features", "ml", "gbt", "tree", "loss", "linear",
+	"split", "fusion", "domain", "index", "core", "stats", "swlin",
+	"metrics", "drift", "backtest", "featsel", "hpt", "table",
+	"obfuscate", "navsim",
+}
+
+// Walltime flags wall-clock and ambient-randomness calls in pipeline
+// packages: time.Now, and the global math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, …). Either one makes the feature tensor,
+// splits, or trained models unreproducible run-to-run, which is the
+// paper's central credibility requirement.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no time.Now or global math/rand in pipeline packages (logical time t* and seeded RNGs only)",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, walltimePackages...)
+	},
+	Run: runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(p, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && name == "Now":
+				p.Reportf(call.Pos(), "wall-clock time.Now in a pipeline package; the only clock is logical time t*")
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !strings.HasPrefix(name, "New"):
+				p.Reportf(call.Pos(), "global math/rand.%s in a pipeline package; use rand.New(rand.NewSource(seed)) with a configured seed", name)
+			}
+			return true
+		})
+	}
+}

@@ -34,9 +34,18 @@ func Evaluate(y, yhat []float64) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	mae, _ := MAE(y, yhat)
-	mse, _ := MSE(y, yhat)
-	r2, _ := R2(y, yhat)
+	mae, err := MAE(y, yhat)
+	if err != nil {
+		return Report{}, err
+	}
+	mse, err := MSE(y, yhat)
+	if err != nil {
+		return Report{}, err
+	}
+	r2, err := R2(y, yhat)
+	if err != nil {
+		return Report{}, err
+	}
 	return Report{
 		MAE80: mae80,
 		MAE90: mae90,
@@ -122,8 +131,8 @@ func R2(y, yhat []float64) (float64, error) {
 		ssRes += dr * dr
 		ssTot += dt * dt
 	}
-	if ssTot == 0 {
-		if ssRes == 0 {
+	if ssTot == 0 { //lint:ignore floateq a constant target sums to exactly zero; R² is defined piecewise there
+		if ssRes == 0 { //lint:ignore floateq exact reproduction of a constant target scores R²=1
 			return 1, nil
 		}
 		return 0, nil

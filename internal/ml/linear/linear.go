@@ -107,7 +107,7 @@ func Fit(p Params, d *ml.Dataset) (*Model, error) {
 			scale[j] += dv * dv
 		}
 		scale[j] = math.Sqrt(scale[j] / float64(n))
-		if scale[j] == 0 {
+		if scale[j] == 0 { //lint:ignore floateq a constant column sums to exactly zero variance
 			scale[j] = 1 // constant column: coefficient will stay 0
 		}
 	}
@@ -148,7 +148,7 @@ func Fit(p Params, d *ml.Dataset) (*Model, error) {
 			}
 			rho /= nf
 			wNew := softThreshold(rho, l1) / (1 + l2)
-			if delta := wNew - w[j]; delta != 0 {
+			if delta := wNew - w[j]; delta != 0 { //lint:ignore floateq exact zero delta means a no-op coordinate update
 				for i := 0; i < n; i++ {
 					r[i] -= delta * col[i]
 				}

@@ -219,17 +219,17 @@ func Parse(name string, delta float64) (Loss, error) {
 	case "l1", "absolute":
 		return Absolute{}, nil
 	case "huber":
-		if delta == 0 {
+		if delta == 0 { //lint:ignore floateq the zero value selects the paper default; no arithmetic precedes it
 			delta = PaperDelta
 		}
 		return NewHuber(delta)
 	case "pseudohuber", "pseudo-huber":
-		if delta == 0 {
+		if delta == 0 { //lint:ignore floateq the zero value selects the paper default; no arithmetic precedes it
 			delta = PaperDelta
 		}
 		return NewPseudoHuber(delta)
 	case "pinball", "quantile":
-		if delta == 0 {
+		if delta == 0 { //lint:ignore floateq the zero value selects the paper default; no arithmetic precedes it
 			delta = 0.5
 		}
 		return NewPinball(delta)

@@ -201,7 +201,7 @@ func (b *builder) bestSplit(rows []int, G, H float64) *split {
 			GL += b.g[i]
 			HL += b.h[i]
 			v, next := b.X[i][f], b.X[order[k+1]][f]
-			if v == next {
+			if v == next { //lint:ignore floateq duplicate sorted feature values admit no split point between them
 				continue // can't split between equal values
 			}
 			GR, HR := G-GL, H-HL
@@ -214,6 +214,7 @@ func (b *builder) bestSplit(rows []int, G, H float64) *split {
 			}
 			if best == nil || gain > best.gain {
 				mid := v + (next-v)/2
+				//lint:ignore floateq adjacent floats: the midpoint rounds back onto v exactly
 				if mid == v { // adjacent floats: fall back to next
 					mid = next
 				}

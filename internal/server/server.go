@@ -105,18 +105,34 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v to the client. An encode failure at this point is a
+// write failure (typically a disconnected client — headers are already
+// sent), so it is logged with the request path rather than discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("%s %s: response write failed: %v", r.Method, r.URL.Path, err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+// logf writes to the configured request logger, falling back to the
+// process logger so write failures stay visible even when request logging
+// is disabled.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // availView is the /avails row.
@@ -131,7 +147,7 @@ type availView struct {
 	DelayDays *int   `json:"delay_days,omitempty"`
 }
 
-func (s *Server) handleAvails(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleAvails(w http.ResponseWriter, r *http.Request) {
 	ids := s.catalog.AvailIDs()
 	out := make([]availView, 0, len(ids)) // non-nil: an empty catalog encodes []
 	for _, id := range ids {
@@ -149,7 +165,7 @@ func (s *Server) handleAvails(w http.ResponseWriter, _ *http.Request) {
 		}
 		out = append(out, v)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 // estimateView is one trajectory point of /query.
@@ -212,12 +228,12 @@ func (s *Server) queryOne(ctx context.Context, id int, at domain.Day) (*queryVie
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("avail"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing or invalid avail parameter"))
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing or invalid avail parameter"))
 		return
 	}
 	at, err := domain.ParseDay(r.URL.Query().Get("date"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	view, err := s.queryOne(r.Context(), id, at)
@@ -226,10 +242,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if _, ok := s.catalog.Avail(id); !ok {
 			status = http.StatusNotFound
 		}
-		writeErr(w, status, err)
+		s.writeErr(w, r, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.writeJSON(w, r, http.StatusOK, view)
 }
 
 // fleetRow is one /fleet entry; failed avails carry an error message so one
@@ -243,7 +259,7 @@ type fleetRow struct {
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	at, err := domain.ParseDay(r.URL.Query().Get("date"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ids := s.catalog.OngoingIDs()
@@ -266,5 +282,5 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, rows)
+	s.writeJSON(w, r, http.StatusOK, rows)
 }

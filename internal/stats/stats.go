@@ -72,7 +72,7 @@ func Pearson(x, y []float64) (float64, error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx == 0 || syy == 0 { //lint:ignore floateq exactly zero variance means correlation is undefined
 		return 0, nil
 	}
 	r := sxy / math.Sqrt(sxx*syy)
@@ -92,6 +92,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq fractional ranking ties are defined by exact equality
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}
@@ -158,7 +159,7 @@ func MutualInformation(x, y []float64, bins int) (float64, error) {
 // result is false when the variable is constant.
 func binIndices(xs []float64, bins int) ([]int, bool) {
 	lo, hi := MinMax(xs)
-	if hi == lo {
+	if hi == lo { //lint:ignore floateq exact min==max means the variable is constant
 		return nil, false
 	}
 	w := (hi - lo) / float64(bins)
@@ -206,7 +207,7 @@ func Histogram(xs []float64, bins int) (counts []int, edges []float64, err error
 		return nil, nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
 	}
 	lo, hi := MinMax(xs)
-	if hi == lo {
+	if hi == lo { //lint:ignore floateq exact min==max means the variable is constant
 		hi = lo + 1
 	}
 	counts = make([]int, bins)

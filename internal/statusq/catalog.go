@@ -104,15 +104,16 @@ func (c *Catalog) AvailIDs() []int {
 	return ids
 }
 
-// OngoingIDs lists ids of avails still executing, ascending.
+// OngoingIDs lists ids of avails still executing, ascending. It derives
+// from AvailIDs rather than sweeping the map directly, so the order is
+// deterministic by construction (no map-iteration randomness to undo).
 func (c *Catalog) OngoingIDs() []int {
 	ids := []int{}
-	for id, a := range c.avails {
-		if a.Status == domain.StatusOngoing {
+	for _, id := range c.AvailIDs() {
+		if c.avails[id].Status == domain.StatusOngoing {
 			ids = append(ids, id)
 		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 
