@@ -5,7 +5,7 @@ GO ?= go
 STRESS_COUNT ?= 3
 STRESS_TIMEOUT ?= 10m
 
-.PHONY: build vet test race stress lint check bench
+.PHONY: build vet test race stress chaos lint check bench
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ stress:
 		-run 'Concurrent|SingleFlight|CachedEngine' \
 		./internal/server/ ./internal/statusq/ ./internal/index/
 
+# chaos runs the fault-injection and crash-recovery suites under the race
+# detector: WAL torn-tail/replay recovery, kill-mid-ingest restart proofs,
+# injected disk and engine-build faults, load shedding, and panic
+# recovery (see DESIGN.md "Durability & fault model").
+chaos:
+	$(GO) test -race -timeout $(STRESS_TIMEOUT) \
+		-run 'Chaos|Fault|Torn|Recovery|Durable|Injected|Fire|Arm|Enable|Reset' \
+		./internal/wal/ ./internal/statusq/ ./internal/server/ ./internal/faultinject/
+
 # lint runs domdlint, the project's invariant analyzers (internal/lint):
 # lockguard, detrange, floateq, walltime, droppederr, ctxflow. Non-zero
 # exit on any finding; suppress a deliberate violation with
@@ -38,10 +47,10 @@ lint:
 	$(GO) run ./cmd/domdlint ./...
 
 # check is the CI gate: compile, vet, race-test everything, repeat the
-# concurrency stress suite, then enforce the lint invariants (domdlint
-# must exit 0 on the tree).
+# concurrency stress suite, re-run the chaos (fault-injection) suite,
+# then enforce the lint invariants (domdlint must exit 0 on the tree).
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) lint
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) lint
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -24,8 +24,8 @@ import (
 
 	"domd/internal/backtest"
 	"domd/internal/core"
-	"domd/internal/drift"
 	"domd/internal/domain"
+	"domd/internal/drift"
 	"domd/internal/features"
 	"domd/internal/index"
 	"domd/internal/ml/gbt"
@@ -33,6 +33,7 @@ import (
 	"domd/internal/split"
 	"domd/internal/statusq"
 	"domd/internal/table"
+	"domd/internal/wal"
 )
 
 func main() {
@@ -310,16 +311,55 @@ func runServe(args []string) {
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	fleetPar := fs.Int("fleet-parallel", server.DefaultFleetParallelism, "max avails one /fleet request queries concurrently")
+	maxInFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently handled requests before shedding with 503 (-1 disables)")
+	requestTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling deadline (-1s disables)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max POST body size in bytes")
+	walDir := fs.String("wal-dir", "", "directory for the RCC ingestion WAL (empty: POST /rccs is in-memory only)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, every, or never")
+	fsyncEvery := fs.Int("fsync-every", 64, "records between fsyncs when -fsync=every")
+	walCompactEvery := fs.Int("wal-compact-every", 1024, "ingests between WAL snapshots (0 disables auto-compaction)")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	parseFlags(fs, args)
 	avails, rccs := load(c)
 	ext, tensor, sp := buildTensor(c, avails, rccs)
 	p := trainPipeline(c, tensor, sp)
-	catalog, err := statusq.NewCatalog(avails, rccs, index.KindAVL)
-	if err != nil {
-		log.Fatal(err)
+
+	opts := server.Options{
+		FleetParallelism: *fleetPar,
+		MaxInFlight:      *maxInFlight,
+		RequestTimeout:   *requestTimeout,
+		MaxBodyBytes:     *maxBody,
 	}
-	opts := server.Options{FleetParallelism: *fleetPar}
+	var catalog *statusq.Catalog
+	var durable *statusq.DurableCatalog
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc, info, err := statusq.OpenDurable(*walDir, avails, rccs, index.KindAVL, statusq.DurableOptions{
+			WAL:          wal.Options{Policy: policy, Every: *fsyncEvery},
+			CompactEvery: *walCompactEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("WAL restore from %s: %d RCCs re-applied (%d duplicates, %d orphaned), snapshot seq %d, %d log records",
+			*walDir, info.Restored, info.Duplicates, info.Skipped, info.Recovery.SnapshotSeq, info.Recovery.Records)
+		if info.Recovery.TornTail {
+			log.Printf("WAL restore: torn tail repaired at offset %d (%d bytes dropped)",
+				info.Recovery.TornOffset, info.Recovery.TornBytes)
+		}
+		durable = dc
+		catalog = dc.Catalog
+		opts.Ingester = dc
+	} else {
+		cat, err := statusq.NewCatalog(avails, rccs, index.KindAVL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalog = cat
+	}
 	if !*quiet {
 		opts.Logger = log.New(os.Stderr, "domd: ", log.LstdFlags)
 	}
@@ -353,6 +393,11 @@ func runServe(args []string) {
 	}
 	if err := <-done; err != nil {
 		log.Fatalf("shutdown: %v", err)
+	}
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Fatalf("close WAL: %v", err)
+		}
 	}
 	log.Print("server stopped cleanly")
 }

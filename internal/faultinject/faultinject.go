@@ -1,0 +1,132 @@
+// Package faultinject is a runtime failpoint registry for chaos testing
+// the serving path. Production code threads named sites through its hot
+// spots (WAL writes, engine builds, the ingest apply step); tests arm a
+// site with an error or an arbitrary hook (including one that panics, to
+// simulate a kill) and drive the system through the failure. Sites are
+// enabled at runtime — no build tags — so the exact binary under test is
+// the binary that ships.
+//
+// The disarmed fast path is a single atomic load: with no failpoints
+// armed, Fire costs one predictable branch and takes no locks, so
+// instrumented sites are safe to leave in hot paths.
+//
+// Typical test usage:
+//
+//	defer faultinject.Reset()
+//	faultinject.Enable("wal.append.write", errDisk)       // fail every hit
+//	faultinject.EnableTimes("wal.append.sync", errDisk, 1) // fail once
+//	faultinject.Arm("statusq.durable.apply", func() error {
+//		panic("simulated kill between WAL append and apply")
+//	})
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed counts currently-armed sites; zero means Fire returns nil without
+// touching the registry lock.
+var armed atomic.Int64
+
+var (
+	mu    sync.Mutex // guards sites
+	sites = map[string]*site{}
+)
+
+// site is one armed failpoint: a hook plus an optional remaining-hit
+// budget (0 = unlimited).
+type site struct {
+	hook func() error
+	// remaining > 0 auto-disarms the site after that many firing hits;
+	// 0 means the site stays armed until Disable/Reset.
+	remaining int
+}
+
+// Fire triggers the named site. It returns nil when the site is not
+// armed; otherwise it runs the armed hook and returns its error. A hook
+// is free to panic (simulating a process kill at the site) or to block.
+// Production call sites must treat a non-nil error exactly like the real
+// failure the site stands in for.
+func Fire(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s := sites[name]
+	if s == nil {
+		mu.Unlock()
+		return nil
+	}
+	hook := s.hook
+	if s.remaining > 0 {
+		s.remaining--
+		if s.remaining == 0 {
+			delete(sites, name)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	// Run the hook outside the lock: it may panic or fire other sites.
+	return hook()
+}
+
+// Arm installs fn as the named site's hook, replacing any previous
+// arming. fn runs on every Fire until Disable or Reset.
+func Arm(name string, fn func() error) {
+	armTimes(name, fn, 0)
+}
+
+// Enable arms the site to fail with err on every hit.
+func Enable(name string, err error) {
+	armTimes(name, func() error { return err }, 0)
+}
+
+// EnableTimes arms the site to fail with err for the next n hits, then
+// auto-disarm — the transient-fault shape (one bad write, then the disk
+// recovers).
+func EnableTimes(name string, err error, n int) {
+	armTimes(name, func() error { return err }, n)
+}
+
+func armTimes(name string, fn func() error, n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; !ok {
+		armed.Add(1)
+	}
+	sites[name] = &site{hook: fn, remaining: n}
+}
+
+// Disable disarms one site; disarming an unarmed site is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; ok {
+		delete(sites, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests that arm anything should
+// `defer faultinject.Reset()` so a failed test cannot poison the next.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(sites)))
+	for name := range sites {
+		delete(sites, name)
+	}
+}
+
+// Armed reports whether the named site is currently armed (visible for
+// test assertions).
+func Armed(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := sites[name]
+	return ok
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	defer Reset()
+	if err := Fire("nope"); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("x", boom)
+	if !Armed("x") {
+		t.Fatal("x not armed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Fire("x"); !errors.Is(err, boom) {
+			t.Fatalf("Fire #%d = %v, want boom", i, err)
+		}
+	}
+	// An armed registry must not leak into other sites.
+	if err := Fire("y"); err != nil {
+		t.Fatalf("unarmed sibling site fired: %v", err)
+	}
+	Disable("x")
+	if Armed("x") {
+		t.Fatal("x still armed after Disable")
+	}
+	if err := Fire("x"); err != nil {
+		t.Fatalf("Fire after Disable = %v", err)
+	}
+}
+
+func TestEnableTimesAutoDisarms(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	EnableTimes("x", boom, 2)
+	if err := Fire("x"); !errors.Is(err, boom) {
+		t.Fatalf("hit 1 = %v", err)
+	}
+	if err := Fire("x"); !errors.Is(err, boom) {
+		t.Fatalf("hit 2 = %v", err)
+	}
+	if err := Fire("x"); err != nil {
+		t.Fatalf("hit 3 = %v, want nil (auto-disarmed)", err)
+	}
+	if Armed("x") {
+		t.Fatal("x still armed after budget exhausted")
+	}
+}
+
+func TestArmHookRunsOutsideLock(t *testing.T) {
+	defer Reset()
+	// A hook that re-enters the registry must not deadlock.
+	Arm("outer", func() error { return Fire("inner") })
+	Enable("inner", errors.New("inner boom"))
+	if err := Fire("outer"); err == nil || err.Error() != "inner boom" {
+		t.Fatalf("re-entrant Fire = %v", err)
+	}
+}
+
+func TestArmPanicHookPropagates(t *testing.T) {
+	defer Reset()
+	Arm("kill", func() error { panic("simulated kill") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic hook did not propagate")
+		}
+		// The site must still be usable after the panic unwound.
+		Disable("kill")
+		if err := Fire("kill"); err != nil {
+			t.Fatalf("Fire after recovered panic = %v", err)
+		}
+	}()
+	Fire("kill") // the hook panics; there is no error to observe
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	defer Reset()
+	Enable("a", errors.New("a"))
+	EnableTimes("b", errors.New("b"), 5)
+	Reset()
+	if Armed("a") || Armed("b") {
+		t.Fatal("sites survived Reset")
+	}
+	if err := Fire("a"); err != nil {
+		t.Fatalf("Fire after Reset = %v", err)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	EnableTimes("x", boom, 100)
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := Fire("x"); err != nil {
+					hits[g]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 100 {
+		t.Fatalf("budgeted site fired %d times, want exactly 100", total)
+	}
+}

@@ -57,3 +57,24 @@ func DeferOK(f *os.File) int {
 func Suppressed(f *os.File) {
 	f.Close() //lint:ignore droppederr best-effort close on an already-failing path
 }
+
+// SyncDropped discards the fsync result — on a write-ahead log that
+// silently un-durables an already-acknowledged record.
+func SyncDropped(f *os.File) {
+	f.Sync() // want `f\.Sync returns an error whose error is discarded`
+}
+
+// CloseBlanked blanks a Close error on the normal (non-deferred) path;
+// for a file with buffered writes, Close is where the write failure
+// finally surfaces.
+func CloseBlanked(f *os.File) {
+	_ = f.Close() // want `error result of f\.Close assigned to _`
+}
+
+// SyncHandled threads both durability errors: clean.
+func SyncHandled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -3,25 +3,57 @@
 // fleet-readiness application within the Navy's SMDII"). It wraps a trained
 // core.Pipeline and a statusq.Catalog behind a small JSON API:
 //
-//	GET /healthz                          liveness probe
-//	GET /avails                           list avails (id, status, dates)
-//	GET /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
-//	GET /fleet?date=2024-04-12            DoMD for every ongoing avail
+//	GET  /healthz                          liveness probe (process is up)
+//	GET  /readyz                           readiness probe (catalog restored,
+//	                                       WAL open — safe to send ingests)
+//	GET  /avails                           list avails (id, status, dates)
+//	GET  /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
+//	GET  /fleet?date=2024-04-12            DoMD for every ongoing avail
+//	POST /rccs                             ingest one RCC (contract change)
 //
-// The handler is safe for concurrent use: queries are answered from the
-// catalog's cached per-avail engines (single-flight built, never rebuilt
-// per request), and RCC ingestion may proceed concurrently through
-// statusq.Catalog.AddRCC, which atomically invalidates the affected engine.
-// /fleet fans out over the ongoing avails with bounded parallelism and
-// per-avail error isolation, honoring the request context.
+// # Ingestion
+//
+// POST /rccs takes a JSON body {"id", "avail_id", "type" ("G"|"NW"|"NG"),
+// "swlin" ("434-11-001" or 8 digits), "created", "settled" (ISO dates),
+// "amount"} and acknowledges with 201 only after the record is applied —
+// durably logged first, when the handler is wired to a
+// statusq.DurableCatalog. Malformed bodies are 400, semantically invalid
+// fields 422, an unknown avail 404, an oversized body 413, and a storage
+// fault 503 with Retry-After (the record is NOT acknowledged; retry with
+// the same Idempotency-Key). The optional Idempotency-Key header dedups
+// retries (default key: "rcc:<id>"); a replayed duplicate answers 200
+// with "duplicate": true instead of 201.
+//
+// # Degraded answers
+//
+// Every /query response and /fleet row carries "stale" and "asOf": asOf
+// is the revision of the answering engine, counted as the number of RCCs
+// of that avail folded into it, and "stale": true marks an answer served
+// from the last good engine because the current rebuild failed (or an
+// ingest landed mid-query). Clients that must not act on degraded data
+// check "stale"; everyone else gets availability instead of a 5xx.
+//
+// # Middleware
+//
+// Every request passes a stack applied in ServeHTTP: panic recovery
+// (500 + stack log; the process keeps serving), a per-request deadline
+// (Options.RequestTimeout), and a concurrency limiter that sheds load
+// with 503 + Retry-After once Options.MaxInFlight requests are in
+// flight. /healthz and /readyz bypass shedding so probes stay accurate
+// under overload. The handler is safe for concurrent use: queries are
+// answered from the catalog's cached per-avail engines (single-flight
+// built), and /fleet fans out with bounded parallelism, per-avail error
+// isolation, and request-context propagation.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -30,6 +62,7 @@ import (
 	"domd/internal/domain"
 	"domd/internal/features"
 	"domd/internal/statusq"
+	"domd/internal/swlin"
 )
 
 // DefaultFleetParallelism bounds the /fleet fan-out when Options leaves it
@@ -37,13 +70,54 @@ import (
 // fleet request cannot monopolize the process.
 const DefaultFleetParallelism = 8
 
+// DefaultMaxInFlight is the concurrency-limiter capacity when Options
+// leaves it unset.
+const DefaultMaxInFlight = 256
+
+// DefaultRequestTimeout bounds one request's handling when Options
+// leaves it unset.
+const DefaultRequestTimeout = 30 * time.Second
+
+// DefaultMaxBodyBytes caps POST bodies when Options leaves it unset;
+// one RCC is a few hundred bytes, so 1 MiB is already generous.
+const DefaultMaxBodyBytes = 1 << 20
+
+// Ingester is the write path the /rccs endpoint acknowledges through.
+// statusq.DurableCatalog implements it with WAL-before-ack semantics;
+// the in-memory fallback (memIngester) implements it without
+// durability for catalogs served without a WAL.
+type Ingester interface {
+	// Ingest applies one RCC, deduplicating by key; see
+	// statusq.DurableCatalog.Ingest for the acknowledgment contract.
+	Ingest(key string, r domain.RCC) (dup bool, err error)
+	// Ready reports whether ingestion can currently be acknowledged.
+	Ready() error
+}
+
 // Options tune the handler.
 type Options struct {
 	// FleetParallelism caps the number of avails queried concurrently by
 	// one /fleet request; <= 0 selects DefaultFleetParallelism.
 	FleetParallelism int
+	// MaxInFlight caps concurrently handled requests; excess load is
+	// shed with 503 + Retry-After. 0 selects DefaultMaxInFlight,
+	// negative disables shedding.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline propagated through the
+	// request context. 0 selects DefaultRequestTimeout, negative
+	// disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (413 beyond it). 0 selects
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Ingester handles POST /rccs and gates /readyz. nil serves
+	// ingestion non-durably straight into the catalog (tests,
+	// exploratory runs); wire a statusq.DurableCatalog for WAL-backed
+	// acknowledgments.
+	Ingester Ingester
 	// Logger receives one line per request (method, path, status,
-	// duration). nil disables request logging.
+	// duration) plus panic and write-failure reports. nil disables
+	// request logging.
 	Logger *log.Logger
 }
 
@@ -51,8 +125,12 @@ type Options struct {
 type Server struct {
 	svc      *core.QueryService
 	catalog  *statusq.Catalog
+	ingester Ingester
 	mux      *http.ServeMux
 	fleetPar int
+	inflight chan struct{} // nil when shedding is disabled
+	timeout  time.Duration // 0 when the deadline is disabled
+	maxBody  int64
 	logger   *log.Logger
 }
 
@@ -67,38 +145,143 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, op
 	s := &Server{
 		svc:      core.NewQueryService(p, ext, catalog.Kind()),
 		catalog:  catalog,
+		ingester: opts.Ingester,
 		mux:      http.NewServeMux(),
 		fleetPar: par,
+		maxBody:  opts.MaxBodyBytes,
 		logger:   opts.Logger,
 	}
+	if s.ingester == nil {
+		s.ingester = &memIngester{catalog: catalog, seen: make(map[string]bool)}
+	}
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	switch {
+	case opts.MaxInFlight == 0:
+		s.inflight = make(chan struct{}, DefaultMaxInFlight)
+	case opts.MaxInFlight > 0:
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	switch {
+	case opts.RequestTimeout == 0:
+		s.timeout = DefaultRequestTimeout
+	case opts.RequestTimeout > 0:
+		s.timeout = opts.RequestTimeout
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /avails", s.handleAvails)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /fleet", s.handleFleet)
+	s.mux.HandleFunc("POST /rccs", s.handleIngest)
 	return s
 }
 
-// statusRecorder captures the response code for the request log.
+// memIngester serves POST /rccs for catalogs without a WAL: same
+// idempotency semantics, no durability — every acknowledgment dies with
+// the process. Production deployments wire a statusq.DurableCatalog.
+type memIngester struct {
+	catalog *statusq.Catalog
+
+	mu   sync.Mutex // guards seen, and serializes check-then-apply
+	seen map[string]bool
+}
+
+func (m *memIngester) Ingest(key string, r domain.RCC) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if key != "" && m.seen[key] {
+		return true, nil
+	}
+	if err := m.catalog.AddRCC(r); err != nil {
+		return false, err
+	}
+	if key != "" {
+		m.seen[key] = true
+	}
+	return false, nil
+}
+
+func (m *memIngester) Ready() error { return nil }
+
+// statusRecorder captures the response code for the request log and
+// lets the panic handler know whether headers already went out.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if r.wrote {
+		return
+	}
+	r.wrote = true
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.logger == nil {
-		s.mux.ServeHTTP(w, r)
-		return
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.wrote = true // implicit 200
 	}
+	return r.ResponseWriter.Write(b)
+}
+
+// ServeHTTP implements http.Handler: the middleware stack (panic
+// recovery, load shedding, per-request deadline, request log) around the
+// route mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	// Panic recovery: a panicking handler answers 500 (when the header
+	// is still ours to send) and the process keeps serving. net/http
+	// would also swallow the panic, but only by killing the connection;
+	// here the client gets a real response and the stack is logged.
+	// http.ErrAbortHandler is the sanctioned abort signal — re-raise it.
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v)
+			}
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rec.wrote {
+				s.writeErr(rec, r, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+			}
+			if s.logger != nil {
+				s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+			}
+		}
+	}()
+
+	// Load shedding — but never for probes: a saturated server must
+	// still answer /healthz (it is alive) and /readyz honestly.
+	if s.inflight != nil && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			rec.Header().Set("Retry-After", "1")
+			s.writeErr(rec, r, http.StatusServiceUnavailable, fmt.Errorf("server at capacity; retry"))
+			if s.logger != nil {
+				s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+			}
+			return
+		}
+	}
+
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
 	s.mux.ServeHTTP(rec, r)
-	s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+	if s.logger != nil {
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+	}
 }
 
 type errorBody struct {
@@ -133,6 +316,17 @@ func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, er
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady distinguishes "process up" from "safe to send traffic":
+// ready means the catalog is restored and the WAL (when configured) is
+// open for acknowledgments. Deployments point load balancers here.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.ingester.Ready(); err != nil {
+		s.writeErr(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // availView is the /avails row.
@@ -183,22 +377,31 @@ type driverView struct {
 	Score       float64 `json:"score"`
 }
 
-// queryView is the /query response.
+// queryView is the /query response. Stale and AsOf are the degraded-mode
+// markers documented in the package comment: AsOf is the answering
+// engine's revision (RCCs of this avail folded in), Stale reports that
+// the engine predates the newest acknowledged history — either the
+// rebuild failed and the last good engine answered, or an ingest raced
+// this query.
 type queryView struct {
 	AvailID     int            `json:"avail_id"`
 	At          string         `json:"at"`
 	LogicalTime float64        `json:"t_star"`
 	FinalDays   float64        `json:"estimated_delay_days"`
+	Stale       bool           `json:"stale"`
+	AsOf        int64          `json:"asOf"`
 	Estimates   []estimateView `json:"estimates"`
 	TopDrivers  []driverView   `json:"top_drivers"`
 }
 
-// queryOne answers one avail's DoMD query from the catalog's cached engine.
+// queryOne answers one avail's DoMD query from the catalog's cached
+// engine, falling back to the last good engine (marked stale) when the
+// current rebuild fails.
 func (s *Server) queryOne(ctx context.Context, id int, at domain.Day) (*queryView, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eng, err := s.catalog.Engine(id)
+	eng, asOf, stale, err := s.catalog.EngineAsOf(id)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +414,8 @@ func (s *Server) queryOne(ctx context.Context, id int, at domain.Day) (*queryVie
 		At:          at.String(),
 		LogicalTime: res.LogicalTime,
 		FinalDays:   res.Final(),
+		Stale:       stale,
+		AsOf:        asOf,
 	}
 	for _, e := range res.Estimates {
 		view.Estimates = append(view.Estimates, estimateView{Timestamp: e.Timestamp, Raw: e.Raw, Fused: e.Fused})
@@ -239,7 +444,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	view, err := s.queryOne(r.Context(), id, at)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if _, ok := s.catalog.Avail(id); !ok {
+		if errors.Is(err, statusq.ErrUnknownAvail) {
 			status = http.StatusNotFound
 		}
 		s.writeErr(w, r, status, err)
@@ -249,7 +454,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // fleetRow is one /fleet entry; failed avails carry an error message so one
-// unqueryable avail doesn't hide the rest of the fleet.
+// unqueryable avail doesn't hide the rest of the fleet. Result rows carry
+// the same "stale"/"asOf" degraded-answer markers as /query.
 type fleetRow struct {
 	AvailID int        `json:"avail_id"`
 	Result  *queryView `json:"result,omitempty"`
@@ -283,4 +489,120 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	s.writeJSON(w, r, http.StatusOK, rows)
+}
+
+// rccIn is the POST /rccs request body.
+type rccIn struct {
+	ID      int     `json:"id"`
+	AvailID int     `json:"avail_id"`
+	Type    string  `json:"type"`
+	SWLIN   string  `json:"swlin"`
+	Created string  `json:"created"`
+	Settled string  `json:"settled"`
+	Amount  float64 `json:"amount"`
+}
+
+// ingestView is the POST /rccs acknowledgment.
+type ingestView struct {
+	ID        int    `json:"id"`
+	AvailID   int    `json:"avail_id"`
+	Key       string `json:"idempotency_key"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+// handleIngest is the durable write path: parse strictly, validate
+// semantically, then acknowledge only what the Ingester accepted.
+// Status contract: 400 malformed body, 413 oversized body, 422 invalid
+// field values, 404 unknown avail, 503 (+ Retry-After) storage fault or
+// not ready, 201 acknowledged, 200 duplicate of an earlier ack.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if err := r.Context().Err(); err != nil {
+		s.writeErr(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	var in rccIn
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
+		return
+	}
+
+	rcc, err := parseRCC(in)
+	if err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Resolve the avail before consulting idempotency state so an unknown
+	// avail is 404 even when the key was seen; the Ingester re-checks.
+	if _, ok := s.catalog.Avail(rcc.AvailID); !ok {
+		s.writeErr(w, r, http.StatusNotFound,
+			fmt.Errorf("statusq: rcc %d references %w %d", rcc.ID, statusq.ErrUnknownAvail, rcc.AvailID))
+		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		key = fmt.Sprintf("rcc:%d", rcc.ID)
+	}
+	dup, err := s.ingester.Ingest(key, rcc)
+	switch {
+	case errors.Is(err, statusq.ErrUnknownAvail):
+		s.writeErr(w, r, http.StatusNotFound, err)
+		return
+	case err != nil:
+		// Storage fault or not-ready: nothing was acknowledged. The
+		// client retries with the same key; replay dedup makes the
+		// retry exactly-once even if the failed attempt reached disk.
+		w.Header().Set("Retry-After", "1")
+		s.writeErr(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	status := http.StatusCreated
+	if dup {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, r, status, ingestView{ID: rcc.ID, AvailID: rcc.AvailID, Key: key, Duplicate: dup})
+}
+
+// parseRCC maps the wire form onto a validated domain.RCC; every failure
+// here is a 422 (well-formed JSON, semantically unusable values).
+func parseRCC(in rccIn) (domain.RCC, error) {
+	var zero domain.RCC
+	if in.ID <= 0 {
+		return zero, fmt.Errorf("rcc id must be a positive integer, got %d", in.ID)
+	}
+	typ, err := domain.ParseRCCType(in.Type)
+	if err != nil {
+		return zero, fmt.Errorf("bad rcc type %q (want G, NW, or NG)", in.Type)
+	}
+	code, err := swlin.Parse(in.SWLIN)
+	if err != nil {
+		return zero, err
+	}
+	if !code.Valid() {
+		return zero, fmt.Errorf("swlin %q out of range", in.SWLIN)
+	}
+	created, err := domain.ParseDay(in.Created)
+	if err != nil {
+		return zero, fmt.Errorf("bad created date: %w", err)
+	}
+	settled, err := domain.ParseDay(in.Settled)
+	if err != nil {
+		return zero, fmt.Errorf("bad settled date: %w", err)
+	}
+	rcc := domain.RCC{
+		ID: in.ID, AvailID: in.AvailID, Type: typ, SWLIN: int(code),
+		Created: created, Settled: settled, Amount: in.Amount,
+	}
+	if err := rcc.Validate(); err != nil {
+		return zero, err
+	}
+	return rcc, nil
 }

@@ -1,14 +1,26 @@
 package statusq
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"domd/internal/domain"
+	"domd/internal/faultinject"
 	"domd/internal/index"
 )
+
+// ErrUnknownAvail is the sentinel wrapped by every catalog operation that
+// references an avail id absent from the table (referential integrity, as
+// the NMD enforces). Servers map it to 404; test with errors.Is.
+var ErrUnknownAvail = errors.New("unknown avail")
+
+// FailEngineBuild is the faultinject site fired at the top of every
+// engine construction; arming it makes builds fail without touching the
+// RCC history, which is how the chaos suite drives degraded-mode serving.
+const FailEngineBuild = "statusq.engine.build"
 
 // Catalog manages Status Query engines for a whole avails table — the "A"
 // of Algorithm 1. It owns one Engine per avail (built lazily or eagerly) so
@@ -23,13 +35,19 @@ import (
 // history and invalidates the avail's cached engine; queries racing an
 // AddRCC may still be answered from the pre-append snapshot, but any
 // Engine call that starts after AddRCC returns observes the new RCC.
+//
+// Degraded mode: the catalog remembers the last successfully built engine
+// per avail. When a rebuild fails (bad history, injected fault), EngineAsOf
+// keeps answering from that engine, flagged stale, instead of erroring —
+// and the failed slot is dropped so the next call retries the build.
 type Catalog struct {
 	kind   index.Kind
 	avails map[int]*domain.Avail // immutable after NewCatalog
 
-	mu      sync.RWMutex // guards rccs and engines
-	rccs    map[int][]domain.RCC
-	engines map[int]*engineSlot
+	mu       sync.RWMutex // guards rccs, engines, and lastGood
+	rccs     map[int][]domain.RCC
+	engines  map[int]*engineSlot
+	lastGood map[int]*engineSlot
 
 	builds atomic.Int64
 }
@@ -43,13 +61,20 @@ type engineSlot struct {
 	once  sync.Once
 	avail *domain.Avail
 	rccs  []domain.RCC
-	eng   *Engine
-	err   error
+	// rev is the RCC-history length snapshotted into this slot — the
+	// revision the engine's answers are as-of.
+	rev int64
+	eng *Engine
+	err error
 }
 
 func (s *engineSlot) build(c *Catalog) {
 	s.once.Do(func() {
 		c.builds.Add(1)
+		if err := faultinject.Fire(FailEngineBuild); err != nil {
+			s.err = fmt.Errorf("statusq: build engine for avail %d: %w", s.avail.ID, err)
+			return
+		}
 		s.eng, s.err = NewEngine(s.avail, s.rccs, c.kind)
 	})
 }
@@ -61,10 +86,11 @@ func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Cat
 		return nil, err
 	}
 	c := &Catalog{
-		kind:    kind,
-		avails:  make(map[int]*domain.Avail, len(avails)),
-		rccs:    make(map[int][]domain.RCC),
-		engines: make(map[int]*engineSlot),
+		kind:     kind,
+		avails:   make(map[int]*domain.Avail, len(avails)),
+		rccs:     make(map[int][]domain.RCC),
+		engines:  make(map[int]*engineSlot),
+		lastGood: make(map[int]*engineSlot),
 	}
 	for i := range avails {
 		a := &avails[i]
@@ -78,7 +104,7 @@ func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Cat
 	}
 	for _, r := range rccs {
 		if _, ok := c.avails[r.AvailID]; !ok {
-			return nil, fmt.Errorf("statusq: rcc %d references unknown avail %d", r.ID, r.AvailID)
+			return nil, fmt.Errorf("statusq: rcc %d references %w %d", r.ID, ErrUnknownAvail, r.AvailID)
 		}
 		c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
 	}
@@ -124,17 +150,19 @@ func (c *Catalog) RCCs(id int) []domain.RCC {
 	return c.rccs[id]
 }
 
-// Engine returns (building on first use) the avail's Status Query engine.
-// Construction is single-flight: concurrent callers for the same avail
-// share one build, and the losers block until it finishes.
-func (c *Catalog) Engine(id int) (*Engine, error) {
+// slotFor returns the avail's engine slot, building it single-flight on
+// first use. After the build it maintains the degraded-mode bookkeeping:
+// a successful slot becomes the avail's last-good engine; a failed slot
+// is dropped from the cache so the next call retries instead of pinning
+// the failure until the next AddRCC.
+func (c *Catalog) slotFor(id int) (*engineSlot, error) {
 	c.mu.RLock()
 	slot := c.engines[id]
 	c.mu.RUnlock()
 	if slot == nil {
 		a, ok := c.avails[id]
 		if !ok {
-			return nil, fmt.Errorf("statusq: unknown avail %d", id)
+			return nil, fmt.Errorf("statusq: %w %d", ErrUnknownAvail, id)
 		}
 		c.mu.Lock()
 		slot = c.engines[id]
@@ -142,13 +170,64 @@ func (c *Catalog) Engine(id int) (*Engine, error) {
 			// Snapshot the history: AddRCC only ever appends past the
 			// snapshot's length (or reallocates), so the engine's view
 			// stays consistent without holding the lock during the build.
-			slot = &engineSlot{avail: a, rccs: c.rccs[id]}
+			slot = &engineSlot{avail: a, rccs: c.rccs[id], rev: int64(len(c.rccs[id]))}
 			c.engines[id] = slot
 		}
 		c.mu.Unlock()
 	}
 	slot.build(c)
+	c.mu.RLock()
+	settled := (slot.err == nil && c.lastGood[id] == slot) ||
+		(slot.err != nil && c.engines[id] != slot)
+	c.mu.RUnlock()
+	if !settled {
+		c.mu.Lock()
+		if slot.err == nil {
+			c.lastGood[id] = slot
+		} else if c.engines[id] == slot {
+			delete(c.engines, id)
+		}
+		c.mu.Unlock()
+	}
+	return slot, nil
+}
+
+// Engine returns (building on first use) the avail's Status Query engine.
+// Construction is single-flight: concurrent callers for the same avail
+// share one build, and the losers block until it finishes. A build
+// failure is returned as-is; degraded serving paths that prefer a stale
+// answer over an error use EngineAsOf.
+func (c *Catalog) Engine(id int) (*Engine, error) {
+	slot, err := c.slotFor(id)
+	if err != nil {
+		return nil, err
+	}
 	return slot.eng, slot.err
+}
+
+// EngineAsOf is the degraded-mode variant of Engine: it returns the
+// avail's current engine plus the history revision (the number of RCCs
+// folded in) the engine's answers are as-of. When the current build
+// fails but an earlier build succeeded, it falls back to that last good
+// engine with stale=true instead of returning the error; the failed
+// build is retried on the next call. stale is also true when the engine
+// predates RCCs appended since it was built (a racing AddRCC).
+func (c *Catalog) EngineAsOf(id int) (eng *Engine, asOf int64, stale bool, err error) {
+	slot, err := c.slotFor(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	c.mu.RLock()
+	cur := int64(len(c.rccs[id]))
+	lg := c.lastGood[id]
+	c.mu.RUnlock()
+	if slot.err != nil {
+		if lg != nil {
+			return lg.eng, lg.rev, true, nil
+		}
+		return nil, 0, false, slot.err
+	}
+	return slot.eng, slot.rev, slot.rev < cur, nil
 }
 
 // EngineBuilds reports how many engine constructions the catalog has
@@ -177,9 +256,12 @@ func (c *Catalog) AddRCC(r domain.RCC) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.avails[r.AvailID]; !ok {
-		return fmt.Errorf("statusq: rcc %d references unknown avail %d", r.ID, r.AvailID)
+		return fmt.Errorf("statusq: rcc %d references %w %d", r.ID, ErrUnknownAvail, r.AvailID)
 	}
 	c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
+	// Invalidate the cached engine but keep lastGood: if the rebuild over
+	// the extended history fails, EngineAsOf still has a consistent
+	// (pre-append) engine to serve, marked stale.
 	delete(c.engines, r.AvailID)
 	return nil
 }

@@ -1,11 +1,13 @@
 package statusq
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"domd/internal/domain"
+	"domd/internal/faultinject"
 	"domd/internal/index"
 	"domd/internal/navsim"
 )
@@ -240,5 +242,97 @@ func TestCatalogAddRCCInvalidatesEngine(t *testing.T) {
 	}
 	if e2.NumRCCs() != e1.NumRCCs()+1 {
 		t.Errorf("rebuilt engine has %d RCCs, want %d", e2.NumRCCs(), e1.NumRCCs()+1)
+	}
+}
+
+// TestCatalogUnknownAvailSentinel pins the previously undocumented
+// failure mode: every unknown-avail path wraps ErrUnknownAvail so
+// callers (the server's 404 mapping) can test with errors.Is.
+func TestCatalogUnknownAvailSentinel(t *testing.T) {
+	c, _ := catalogFixture(t)
+	if err := c.AddRCC(domain.RCC{ID: 1, AvailID: 99999, Created: 0, Settled: 1}); !errors.Is(err, ErrUnknownAvail) {
+		t.Errorf("AddRCC unknown avail = %v, want ErrUnknownAvail", err)
+	}
+	if _, err := c.Engine(99999); !errors.Is(err, ErrUnknownAvail) {
+		t.Errorf("Engine unknown avail = %v, want ErrUnknownAvail", err)
+	}
+	if _, err := c.Eval(99999, 10, Query{Status: domain.Created, Agg: Count}); !errors.Is(err, ErrUnknownAvail) {
+		t.Errorf("Eval unknown avail = %v, want ErrUnknownAvail", err)
+	}
+	if _, _, _, err := c.EngineAsOf(99999); !errors.Is(err, ErrUnknownAvail) {
+		t.Errorf("EngineAsOf unknown avail = %v, want ErrUnknownAvail", err)
+	}
+}
+
+// TestCatalogEngineBuildFaultServesLastGood drives the degraded-serving
+// contract: with the engine build failing, EngineAsOf answers from the
+// last successfully built engine marked stale; once the fault clears,
+// the next call rebuilds fresh.
+func TestCatalogEngineBuildFaultServesLastGood(t *testing.T) {
+	defer faultinject.Reset()
+	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+
+	good, asOf, stale, err := c.EngineAsOf(id)
+	if err != nil || stale {
+		t.Fatalf("healthy EngineAsOf: stale=%v err=%v", stale, err)
+	}
+	if asOf != int64(good.NumRCCs()) {
+		t.Fatalf("asOf = %d, want history length %d", asOf, good.NumRCCs())
+	}
+
+	// Invalidate the engine, then make every rebuild fail.
+	a, _ := c.Avail(id)
+	add := domain.RCC{
+		ID: 7_000_000, AvailID: id, Type: domain.Growth, SWLIN: 43411001,
+		Created: a.ActStart + 1, Settled: a.ActStart + 30, Amount: 1,
+	}
+	if err := c.AddRCC(add); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected build failure")
+	faultinject.Enable(FailEngineBuild, boom)
+
+	if _, err := c.Engine(id); !errors.Is(err, boom) {
+		t.Fatalf("strict Engine under fault = %v, want the build error", err)
+	}
+	eng, asOf2, stale2, err := c.EngineAsOf(id)
+	if err != nil {
+		t.Fatalf("EngineAsOf under fault = %v, want stale fallback", err)
+	}
+	if !stale2 || eng != good || asOf2 != asOf {
+		t.Fatalf("fallback = (%p stale=%v asOf=%d), want last good (%p stale=true asOf=%d)",
+			eng, stale2, asOf2, good, asOf)
+	}
+
+	// Fault clears: the failed slot was dropped, so the rebuild runs and
+	// folds in the appended RCC.
+	faultinject.Reset()
+	fresh, asOf3, stale3, err := c.EngineAsOf(id)
+	if err != nil || stale3 {
+		t.Fatalf("post-fault EngineAsOf: stale=%v err=%v", stale3, err)
+	}
+	if fresh == good || asOf3 != asOf+1 {
+		t.Fatalf("post-fault engine not rebuilt: asOf=%d want %d", asOf3, asOf+1)
+	}
+	if fresh.NumRCCs() != good.NumRCCs()+1 {
+		t.Fatalf("rebuilt engine has %d RCCs, want %d", fresh.NumRCCs(), good.NumRCCs()+1)
+	}
+}
+
+// TestCatalogEngineBuildFaultNoLastGood: with no prior good engine the
+// build error must propagate — degraded mode cannot invent answers.
+func TestCatalogEngineBuildFaultNoLastGood(t *testing.T) {
+	defer faultinject.Reset()
+	c, ds := catalogFixture(t)
+	id := ds.Avails[1].ID
+	boom := errors.New("injected build failure")
+	faultinject.EnableTimes(FailEngineBuild, boom, 1)
+	if _, _, _, err := c.EngineAsOf(id); !errors.Is(err, boom) {
+		t.Fatalf("EngineAsOf with no last-good = %v, want build error", err)
+	}
+	// The failed slot must not be pinned: the next call retries and succeeds.
+	if _, _, stale, err := c.EngineAsOf(id); err != nil || stale {
+		t.Fatalf("retry after transient fault: stale=%v err=%v", stale, err)
 	}
 }

@@ -1,0 +1,289 @@
+package statusq
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"domd/internal/domain"
+	"domd/internal/faultinject"
+	"domd/internal/index"
+	"domd/internal/wal"
+)
+
+// FailDurableApply is the faultinject site fired between the WAL append
+// and the in-memory apply of an ingested RCC — the crash window a
+// kill-mid-ingest test targets. A hook that panics here simulates the
+// process dying with the record durable but not yet applied; replay at
+// the next OpenDurable must surface it.
+const FailDurableApply = "statusq.durable.apply"
+
+// walEntry is the WAL record and snapshot element for one ingested RCC.
+// The base tables (avails, historical RCCs) are reloaded from their CSVs
+// at startup; the WAL persists only the delta ingested at runtime.
+type walEntry struct {
+	// Key is the idempotency key the record was ingested under ("" when
+	// the client supplied none, which disables dedup for that record).
+	Key string     `json:"key,omitempty"`
+	RCC domain.RCC `json:"rcc"`
+}
+
+// walState is the snapshot payload: every applied delta entry, in
+// acknowledgment order.
+type walState struct {
+	Entries []walEntry `json:"entries"`
+}
+
+// DurableOptions tune a DurableCatalog.
+type DurableOptions struct {
+	// WAL configures the underlying log, most importantly the fsync
+	// policy (wal.SyncAlways for crash-proof acknowledgments).
+	WAL wal.Options
+	// CompactEvery writes a snapshot and truncates the log after this
+	// many ingested records since the last snapshot; <= 0 disables
+	// auto-compaction (Compact can still be called manually).
+	CompactEvery int
+}
+
+// RestoreInfo reports what OpenDurable reconstructed on top of the base
+// tables.
+type RestoreInfo struct {
+	// Recovery is the raw WAL-level recovery report (snapshot sequence,
+	// replayed records, torn-tail cut).
+	Recovery wal.RecoveryInfo
+	// Restored counts delta RCCs re-applied from snapshot + log.
+	Restored int
+	// Duplicates counts replayed entries skipped because their
+	// idempotency key had already been applied.
+	Duplicates int
+	// Skipped counts replayed entries that no longer apply to the base
+	// tables (unknown avail after a table edit, failed validation). They
+	// are dropped with a count rather than failing startup: refusing to
+	// serve the whole fleet over one orphaned record is the worse
+	// failure mode.
+	Skipped int
+}
+
+// DurableCatalog is a Catalog whose ingestion path is write-ahead
+// logged: Ingest acknowledges an RCC only after it is on the log (per
+// the configured fsync policy), and OpenDurable restores every
+// acknowledged RCC from snapshot + log replay after a crash or restart.
+// Read and query methods are the embedded Catalog's.
+type DurableCatalog struct {
+	*Catalog
+	log  *wal.Log
+	opts DurableOptions
+
+	// open flips false on Close; Ready gates /readyz on it.
+	open atomic.Bool
+
+	mu        sync.Mutex // guards seen, applied, sinceSnap, and compactErr
+	seen      map[string]bool
+	applied   []walEntry
+	sinceSnap int
+	// compactErr is the most recent auto-compaction failure (nil when
+	// the last one succeeded). Compaction failures do not fail Ingest —
+	// the record is already durable — but operators can surface them.
+	compactErr error
+}
+
+// OpenDurable builds a catalog over the base tables, then restores the
+// ingested delta from the WAL in dir (snapshot first, then log replay),
+// creating the log if absent. Replayed duplicates (by idempotency key)
+// and entries orphaned by base-table edits are skipped and counted in
+// RestoreInfo.
+func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind index.Kind, opts DurableOptions) (*DurableCatalog, *RestoreInfo, error) {
+	cat, err := NewCatalog(avails, rccs, kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, rec, err := wal.Open(dir, opts.WAL)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &DurableCatalog{
+		Catalog: cat,
+		log:     log,
+		opts:    opts,
+		seen:    make(map[string]bool),
+	}
+	info := &RestoreInfo{Recovery: rec.Info}
+
+	var entries []walEntry
+	if rec.Snapshot != nil {
+		var st walState
+		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+			closeBestEffort(log)
+			return nil, nil, fmt.Errorf("statusq: decode WAL snapshot: %w", err)
+		}
+		entries = st.Entries
+	}
+	for _, raw := range rec.Entries {
+		var e walEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			// The CRC already vouched for the bytes, so this is a format
+			// mismatch (version skew), not disk damage: refuse to guess.
+			closeBestEffort(log)
+			return nil, nil, fmt.Errorf("statusq: decode WAL record: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	for _, e := range entries {
+		if e.Key != "" && d.seen[e.Key] {
+			info.Duplicates++
+			continue
+		}
+		if err := cat.AddRCC(e.RCC); err != nil {
+			info.Skipped++
+			continue
+		}
+		if e.Key != "" {
+			d.seen[e.Key] = true
+		}
+		d.applied = append(d.applied, e)
+		info.Restored++
+	}
+	d.open.Store(true)
+	return d, info, nil
+}
+
+// closeBestEffort closes a log whose contents we are abandoning anyway.
+func closeBestEffort(log *wal.Log) {
+	log.Close() //lint:ignore droppederr best-effort close on an already-failing open path
+}
+
+// ErrNotReady is returned by Ready once the durable catalog is closed.
+var ErrNotReady = errors.New("statusq: durable catalog is closed")
+
+// Ready reports whether the catalog can acknowledge ingestion: restore
+// completed (OpenDurable returned) and the WAL is open. This is the
+// /readyz gate, distinct from process liveness.
+func (d *DurableCatalog) Ready() error {
+	if !d.open.Load() {
+		return ErrNotReady
+	}
+	return nil
+}
+
+// LastCompactError returns the most recent auto-compaction failure, or
+// nil. A failing compaction leaves serving and durability intact (the
+// log just keeps growing), so it is reported out-of-band instead of
+// failing Ingest.
+func (d *DurableCatalog) LastCompactError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactErr
+}
+
+// Ingest validates, durably logs, and applies one RCC. The contract:
+//
+//   - A nil error means the record is on the WAL (per the fsync policy)
+//     and visible to subsequent Engine/Eval calls — acknowledged.
+//   - dup=true means the idempotency key was already applied; the call
+//     is a no-op acknowledgment of the earlier ingest.
+//   - A non-nil error means the record must NOT be considered ingested;
+//     nothing was acknowledged. (A crash between append and apply can
+//     still surface the record after restart — WAL replay is
+//     at-least-once, which idempotency keys make exactly-once.)
+//
+// An empty key disables deduplication for this record.
+func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) {
+	if err := r.Validate(); err != nil {
+		return false, err
+	}
+	if _, ok := d.Avail(r.AvailID); !ok {
+		return false, fmt.Errorf("statusq: rcc %d references %w %d", r.ID, ErrUnknownAvail, r.AvailID)
+	}
+	if err := d.Ready(); err != nil {
+		return false, err
+	}
+	e := walEntry{Key: key, RCC: r}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return false, fmt.Errorf("statusq: encode WAL record: %w", err)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if key != "" && d.seen[key] {
+		return true, nil
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		// Not acknowledged: the client must retry (the server maps this
+		// to 503). If the OS got the bytes down anyway, replay surfaces
+		// the record and the retry's idempotency key dedups it.
+		return false, err
+	}
+	// Crash window: durable but not yet applied. A kill here (the armed
+	// hook panics) is recovered by replay at the next OpenDurable.
+	if err := faultinject.Fire(FailDurableApply); err != nil {
+		return false, fmt.Errorf("statusq: apply ingested rcc %d: %w", r.ID, err)
+	}
+	if err := d.Catalog.AddRCC(r); err != nil {
+		return false, err
+	}
+	if key != "" {
+		d.seen[key] = true
+	}
+	d.applied = append(d.applied, e)
+	d.sinceSnap++
+	if d.opts.CompactEvery > 0 && d.sinceSnap >= d.opts.CompactEvery {
+		// Auto-compaction failure must not fail the already-durable
+		// ingest; record it for LastCompactError instead. The applied
+		// slice corresponds exactly to the log's sequence here because
+		// the ingest lock is held.
+		if payload, merr := json.Marshal(walState{Entries: d.applied}); merr != nil {
+			d.compactErr = fmt.Errorf("statusq: encode WAL snapshot: %w", merr)
+		} else if serr := d.log.Snapshot(payload); serr != nil {
+			d.compactErr = serr
+		} else {
+			d.compactErr = nil
+			d.sinceSnap = 0
+		}
+	}
+	return false, nil
+}
+
+// Compact writes a snapshot of the ingested delta and truncates the
+// log — bounding replay time after long uptimes. Safe to call at any
+// time; concurrent Ingests serialize around it.
+func (d *DurableCatalog) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	payload, err := json.Marshal(walState{Entries: d.applied})
+	if err != nil {
+		return fmt.Errorf("statusq: encode WAL snapshot: %w", err)
+	}
+	if err := d.log.Snapshot(payload); err != nil {
+		return err
+	}
+	d.sinceSnap = 0
+	return nil
+}
+
+// AddRCC shadows the embedded Catalog's mutation path: on a durable
+// catalog every write must go through Ingest, or it would vanish on
+// restart. It always fails.
+func (d *DurableCatalog) AddRCC(r domain.RCC) error {
+	return fmt.Errorf("statusq: direct AddRCC on a durable catalog (rcc %d); use Ingest", r.ID)
+}
+
+// IngestedCount reports how many delta RCCs are applied (restored +
+// ingested this run) — an observability hook for tests and /readyz
+// payloads.
+func (d *DurableCatalog) IngestedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.applied)
+}
+
+// Close flushes and closes the WAL; subsequent Ingests fail and Ready
+// reports not-ready. Queries keep working from memory.
+func (d *DurableCatalog) Close() error {
+	if !d.open.CompareAndSwap(true, false) {
+		return nil
+	}
+	return d.log.Close()
+}
