@@ -5,7 +5,7 @@ GO ?= go
 STRESS_COUNT ?= 3
 STRESS_TIMEOUT ?= 10m
 
-.PHONY: build vet test race stress chaos lint check bench
+.PHONY: build vet test race stress chaos lint docs check bench
 
 build:
 	$(GO) build ./...
@@ -46,11 +46,21 @@ chaos:
 lint:
 	$(GO) run ./cmd/domdlint ./...
 
+# docs keeps the operator documentation honest: the docstring analyzer
+# enforces godoc-convention comments on the operator-facing packages, and
+# scripts/check_docs.sh cross-checks docs/OPERATIONS.md against the
+# served endpoints, registered metrics, serve flags, and failpoints — so
+# documentation rot fails the build.
+docs:
+	$(GO) run ./cmd/domdlint -analyzers docstring ./...
+	sh scripts/check_docs.sh
+
 # check is the CI gate: compile, vet, race-test everything, repeat the
 # concurrency stress suite, re-run the chaos (fault-injection) suite,
-# then enforce the lint invariants (domdlint must exit 0 on the tree).
+# then enforce the lint invariants (domdlint must exit 0 on the tree)
+# and the docs cross-checks.
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) lint
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) lint && $(MAKE) docs
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

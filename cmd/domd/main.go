@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -318,7 +319,16 @@ func runServe(args []string) {
 	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, every, or never")
 	fsyncEvery := fs.Int("fsync-every", 64, "records between fsyncs when -fsync=every")
 	walCompactEvery := fs.Int("wal-compact-every", 1024, "ingests between WAL snapshots (0 disables auto-compaction)")
-	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiles on this address (empty: disabled; keep it loopback-only)")
+	quiet := fs.Bool("quiet", false, "disable per-request trace logging")
+	// -h prints the endpoint table after the flags, from the same
+	// server.Endpoints table the mux registers — so help, serving, and
+	// docs/OPERATIONS.md cannot drift apart.
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: domd serve [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\n%s", server.UsageText())
+	}
 	parseFlags(fs, args)
 	avails, rccs := load(c)
 	ext, tensor, sp := buildTensor(c, avails, rccs)
@@ -363,6 +373,24 @@ func runServe(args []string) {
 	if !*quiet {
 		opts.Logger = log.New(os.Stderr, "domd: ", log.LstdFlags)
 	}
+	// Profiling is opt-in and served on its own listener so the public
+	// address never exposes pprof. The explicit mux registers exactly the
+	// pprof handlers rather than inheriting http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(p, ext, catalog, opts),

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"domd/internal/server"
+)
+
+// TestServeUsageAndOperationsDocAgree pins the anti-drift contract of
+// the endpoint table: server.Endpoints() is the single source of truth,
+// and both the `domd serve -h` usage text and docs/OPERATIONS.md must
+// carry every row — pattern and operator description. (The mux side of
+// the contract is enforced at construction: server.New panics when the
+// table and the registered handlers disagree.)
+func TestServeUsageAndOperationsDocAgree(t *testing.T) {
+	usage := server.UsageText()
+	raw, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("operations doc: %v", err)
+	}
+	doc := string(raw)
+
+	eps := server.Endpoints()
+	if len(eps) == 0 {
+		t.Fatal("server.Endpoints() is empty")
+	}
+	for _, e := range eps {
+		pattern := e.Method + " " + e.Path
+		if e.Params != "" {
+			pattern += "?" + e.Params
+		}
+		if !strings.Contains(usage, pattern) {
+			t.Errorf("serve -h usage text is missing endpoint %q", pattern)
+		}
+		if !strings.Contains(usage, e.Doc) {
+			t.Errorf("serve -h usage text is missing the description of %q: %q", pattern, e.Doc)
+		}
+		if !strings.Contains(doc, pattern) {
+			t.Errorf("docs/OPERATIONS.md is missing endpoint %q", pattern)
+		}
+		if !strings.Contains(doc, e.Doc) {
+			t.Errorf("docs/OPERATIONS.md is missing the description of %q: %q", pattern, e.Doc)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"domd/internal/domain"
 	"domd/internal/index"
 	"domd/internal/ml"
+	"domd/internal/obs"
 	"domd/internal/statusq"
 )
 
@@ -331,6 +332,8 @@ func BuildTensorOpt(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][
 	if workers > len(rows) {
 		workers = len(rows)
 	}
+	sw := obs.StartTimer()
+	mTensorWorkers.Set(int64(workers))
 
 	var (
 		wg       sync.WaitGroup
@@ -388,6 +391,9 @@ func BuildTensorOpt(ext *Extractor, avails []domain.Avail, rccsByAvail map[int][
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	mTensorBuilds.Inc()
+	mTensorBuildSeconds.ObserveSince(sw)
+	mTensorRows.Add(int64(len(rows) * len(ts)))
 	return t, nil
 }
 

@@ -1,0 +1,18 @@
+package features
+
+import "domd/internal/obs"
+
+// Tensor-build metrics, registered process-wide in obs.Default and
+// exposed on GET /metrics (catalog: docs/OPERATIONS.md). Durations come
+// from obs stopwatches because the walltime lint invariant bans direct
+// time.Now calls in this package.
+var (
+	mTensorBuilds = obs.NewCounter("domd_tensor_builds_total",
+		"Feature-tensor builds completed (BuildTensorOpt).")
+	mTensorBuildSeconds = obs.NewHistogram("domd_tensor_build_duration_seconds",
+		"Feature-tensor build latency in seconds.", obs.DefBuckets)
+	mTensorRows = obs.NewCounter("domd_tensor_build_rows_total",
+		"Feature vectors extracted across tensor builds (avail rows x timestamps).")
+	mTensorWorkers = obs.NewGauge("domd_tensor_build_workers",
+		"Worker-pool size of the most recent tensor build (utilization denominator).")
+)

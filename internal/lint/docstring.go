@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// docstringPackages are the operator-facing packages whose exported API
+// is the serving/observability surface documented in docs/OPERATIONS.md:
+// godoc there is operator documentation, so it is held to the godoc
+// convention mechanically. Pipeline packages are out of scope — their
+// audience is the paper reproduction, covered by DESIGN.md.
+var docstringPackages = []string{"obs", "wal", "statusq", "server"}
+
+// Docstring enforces the godoc convention on operator-facing packages:
+// every exported type, function, and method (on an exported receiver
+// type) carries a doc comment whose first sentence starts with the
+// identifier's name (types may lead with "A", "An", or "The").
+var Docstring = &Analyzer{
+	Name: "docstring",
+	Doc:  "exported identifiers in operator-facing packages (obs, wal, statusq, server) need doc comments starting with the name",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, docstringPackages...)
+	},
+	Run: runDocstring,
+}
+
+func runDocstring(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						// The usual form: the doc comment sits on the
+						// type keyword, not inside a spec group.
+						doc = d.Doc
+					}
+					checkDoc(p, ts.Name, doc, "type", true)
+				}
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					if !exportedRecv(d.Recv) {
+						// Methods on unexported types are not godoc
+						// surface even when the method name is exported
+						// (interface satisfaction forces the case).
+						continue
+					}
+					kind = "method"
+				}
+				checkDoc(p, d.Name, d.Doc, kind, false)
+			}
+		}
+	}
+}
+
+// checkDoc reports a missing or ill-formed doc comment for the exported
+// identifier name. Diagnostics anchor on the declaration line so a
+// //lint:ignore there suppresses them.
+func checkDoc(p *Pass, name *ast.Ident, doc *ast.CommentGroup, kind string, allowArticle bool) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		p.Reportf(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+		return
+	}
+	words := strings.Fields(doc.Text())
+	first := words[0]
+	if allowArticle && len(words) > 1 && (first == "A" || first == "An" || first == "The") {
+		first = words[1]
+	}
+	if strings.TrimRight(first, ".,:;!?") != name.Name {
+		p.Reportf(name.Pos(), "doc comment for exported %s %s should start with %q", kind, name.Name, name.Name)
+	}
+}
+
+// exportedRecv reports whether the method receiver's base type name is
+// exported, unwrapping pointers and generic instantiations.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

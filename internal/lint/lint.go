@@ -4,8 +4,9 @@
 // (lockguard), deterministic map iteration in the feature/tensor packages
 // (detrange), no exact float comparisons (floateq), no wall-clock time or
 // global RNG in pipeline code (walltime), no silently dropped errors
-// (droppederr), and request-context threading in HTTP serving paths
-// (ctxflow).
+// (droppederr), request-context threading in HTTP serving paths
+// (ctxflow), and godoc-convention doc comments on the operator-facing
+// API surface (docstring).
 //
 // Everything is built on the standard library only (go/parser, go/types,
 // go/importer, go/token) — the module has zero dependencies and must stay
@@ -56,6 +57,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Lockguard, Detrange, Floateq, Walltime, Droppederr, Ctxflow,
+		Docstring,
 	}
 }
 

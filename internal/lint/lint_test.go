@@ -39,6 +39,13 @@ func TestCtxflowFixture(t *testing.T) {
 	lint.CheckFixture(t, "testdata/src/ctxflow", lint.Ctxflow)
 }
 
+func TestDocstringFixture(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/docstring/obs", lint.Docstring)
+	if len(diags) != 6 {
+		t.Errorf("docstring fixture: got %d diagnostics, want 6", len(diags))
+	}
+}
+
 // TestScopedAnalyzersApplyToFixtures guards the path-segment scoping: the
 // detrange and walltime fixtures only work because their directories
 // carry a determinism-critical segment, so a rename would silently turn
@@ -52,6 +59,9 @@ func TestScopedAnalyzersApplyToFixtures(t *testing.T) {
 		{lint.Detrange, "domd/internal/statusq"},
 		{lint.Walltime, "domd/internal/lint/testdata/src/walltime/split"},
 		{lint.Walltime, "domd/internal/ml/gbt"},
+		{lint.Docstring, "domd/internal/lint/testdata/src/docstring/obs"},
+		{lint.Docstring, "domd/internal/obs"},
+		{lint.Docstring, "domd/internal/server"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.path) {
@@ -65,6 +75,8 @@ func TestScopedAnalyzersApplyToFixtures(t *testing.T) {
 		{lint.Detrange, "domd/internal/server"},
 		{lint.Walltime, "domd/internal/server"},
 		{lint.Walltime, "domd/internal/experiments"},
+		{lint.Docstring, "domd/internal/features"},
+		{lint.Docstring, "domd/internal/ml/gbt"},
 	}
 	for _, c := range off {
 		if c.a.AppliesTo(c.path) {
@@ -136,8 +148,8 @@ func TestRealTreeClean(t *testing.T) {
 // TestByName covers the analyzer-subset flag parsing of cmd/domdlint.
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
 	two, err := lint.ByName("floateq, walltime")
 	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "walltime" {

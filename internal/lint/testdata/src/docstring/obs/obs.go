@@ -1,0 +1,46 @@
+// Package obs is a docstring fixture: the directory carries the "obs"
+// segment, so the analyzer treats it as operator-facing API surface.
+package obs
+
+// Counter is a well-documented exported type: no diagnostic.
+type Counter struct{ n int64 }
+
+// The Registry form is fine too — types may lead with an article.
+type Registry struct{}
+
+type Gauge struct{ n int64 } // want `exported type Gauge has no doc comment`
+
+// Tracks a point-in-time value without naming itself.
+type Meter struct{} // want `doc comment for exported type Meter should start with "Meter"`
+
+type (
+	// Span is documented inside a spec group: no diagnostic.
+	Span struct{}
+
+	Label struct{} // want `exported type Label has no doc comment`
+)
+
+// Inc adds one: a well-documented exported method.
+func (c *Counter) Inc() { c.n++ }
+
+// Bumps the counter by delta.
+func (c *Counter) Add(delta int64) { c.n += delta } // want `doc comment for exported method Add should start with "Add"`
+
+func (c *Counter) Value() int64 { return c.n } // want `exported method Value has no doc comment`
+
+// NewCounter builds a Counter: a well-documented exported function.
+func NewCounter() *Counter { return &Counter{} }
+
+func NewGauge() *Gauge { return &Gauge{} } // want `exported function NewGauge has no doc comment`
+
+// reset is unexported: no doc comment required.
+func reset(c *Counter) { c.n = 0 }
+
+type series struct{ total int64 }
+
+// Exported method name on an unexported receiver type (interface
+// satisfaction): not godoc surface, no diagnostic.
+func (s *series) Sum() int64 { return s.total }
+
+//lint:ignore docstring legacy name kept for parity with an external dashboard
+func LegacySnapshot() {}

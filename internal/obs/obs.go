@@ -1,0 +1,329 @@
+// Package obs is the serving system's observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms), a Prometheus-text-format exposition endpoint, per-request
+// trace spans, and the wall-clock helpers instrumented packages use so
+// that pipeline code never calls time.Now directly (the walltime lint
+// invariant — see DESIGN.md §7 — bans ambient clocks from pipeline
+// packages; obs owns the clock instead).
+//
+// # Registry
+//
+// Metrics are registered once, typically in package-level var blocks of
+// the instrumented package, against the process-wide Default registry:
+//
+//	var mBuilds = obs.NewCounter("domd_engine_builds_total",
+//		"Status Query engine constructions.")
+//
+// and updated on hot paths with a single atomic operation (Inc, Add,
+// Set, Observe). Labeled families (NewCounterVec, NewHistogramVec)
+// resolve a label tuple to its series with With, which callers should do
+// once per request, not per operation. Registering the same name twice
+// panics: metric names are a process-wide API surface and a collision is
+// a programming error, caught at init.
+//
+// # Exposition
+//
+// Handler (or Registry.WriteText) serves the registry in the Prometheus
+// text format (version 0.0.4). Output is deterministic: families sort by
+// name, series by label values, and histogram buckets are cumulative
+// with a terminal +Inf — two scrapes with no traffic in between are
+// byte-identical. ParseText is the matching minimal parser, used by the
+// metrics test suites and available to callers that scrape themselves.
+//
+// # Tracing and timing
+//
+// Span (see trace.go) carries one request's trace — id, route, status,
+// duration, plus handler-set attributes such as engine asOf/stale — and
+// renders it as a single structured log line through whatever
+// *log.Logger the server already owns. StartTimer returns a Stopwatch
+// for measuring durations in packages where calling time.Now directly is
+// banned by lint.
+//
+// The full metric catalog with meanings is docs/OPERATIONS.md.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricNameRe is the Prometheus metric-name grammar; label names use the
+// same form without colons.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+var labelNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning sub-millisecond index hits to multi-second cold builds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// kind is the exposition TYPE of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// Registry holds metric families and renders deterministic snapshots.
+// All methods are safe for concurrent use; the zero value is not usable —
+// construct with NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex // guards families
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry. Most code uses the process-wide
+// Default instead; separate registries exist for tests that need
+// isolation from process-global series.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every NewCounter/NewGauge/...
+// package-level helper registers into, and the one Handler serves.
+var Default = NewRegistry()
+
+// family is one named metric with a fixed label schema and one series per
+// observed label tuple.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex // guards series
+	series map[string]*series
+}
+
+// series is one (family, label values) time series. Exactly one of the
+// value/histogram fields is live, per the family kind.
+type series struct {
+	labelValues []string
+	val         atomic.Int64   // counter, gauge
+	bucketN     []atomic.Int64 // histogram: per-bucket (non-cumulative), last is +Inf
+	sumBits     atomic.Uint64  // histogram: float64 bits of the running sum
+}
+
+// register installs a new family or panics on any collision or schema
+// error; registration happens at package init, where a panic is an
+// immediate, attributable build-time failure rather than silent aliasing.
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	if k == kindHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: histogram %q bucket bounds must be sorted ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with resolves (creating on first use) the series for one label tuple.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.bucketN = make([]atomic.Int64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing count of events. All methods are
+// one atomic instruction and safe for concurrent use.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds n, which must be non-negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter Add with negative delta")
+	}
+	c.s.val.Add(n)
+}
+
+// Value reads the current count (test and snapshot hook).
+func (c *Counter) Value() int64 { return c.s.val.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, pool
+// sizes). All methods are one atomic instruction.
+type Gauge struct{ s *series }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.s.val.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.s.val.Add(-1) }
+
+// Add adds n (negative deltas allowed).
+func (g *Gauge) Add(n int64) { g.s.val.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.s.val.Store(v) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.s.val.Load() }
+
+// Histogram is a fixed-bucket distribution (latencies, sizes). Observe
+// is lock-free: one atomic bucket increment plus a CAS loop on the sum.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v owns the observation; beyond every bound it lands
+	// in the implicit +Inf bucket at the end.
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	h.s.bucketN[i].Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.s.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time of sw in seconds — the idiom for
+// duration histograms in packages that must not call time.Now directly.
+func (h *Histogram) ObserveSince(sw Stopwatch) { h.Observe(sw.Seconds()) }
+
+// Count reports the total number of observations (test hook).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.s.bucketN {
+		n += h.s.bucketN[i].Load()
+	}
+	return n
+}
+
+// CounterVec is a counter family with labels; With resolves one series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (order matches the
+// labels passed at registration), creating the series on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{s: v.f.with(values)}
+}
+
+// GaugeVec is a gauge family with labels; With resolves one series.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{s: v.f.with(values)}
+}
+
+// HistogramVec is a histogram family with labels; With resolves one
+// series.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.with(values)}
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return &Counter{s: f.with(nil)}
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return &Gauge{s: f.with(nil)}
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// NewHistogram registers an unlabeled histogram with the given ascending
+// bucket upper bounds (an implicit +Inf bucket is appended).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return &Histogram{f: f, s: f.with(nil)}
+}
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// NewCounter registers an unlabeled counter on the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewCounterVec registers a labeled counter family on the Default registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return Default.NewCounterVec(name, help, labels...)
+}
+
+// NewGauge registers an unlabeled gauge on the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewGaugeVec registers a labeled gauge family on the Default registry.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return Default.NewGaugeVec(name, help, labels...)
+}
+
+// NewHistogram registers an unlabeled histogram on the Default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return Default.NewHistogram(name, help, buckets)
+}
+
+// NewHistogramVec registers a labeled histogram family on the Default
+// registry.
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return Default.NewHistogramVec(name, help, buckets, labels...)
+}

@@ -1,0 +1,234 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"domd/internal/obs"
+)
+
+// TestHistogramBucketBoundaries pins the bucket semantics: an observation
+// lands in the first bucket whose bound is >= the value (le is
+// inclusive), rendered buckets are cumulative, and everything beyond the
+// last bound lands only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.NewHistogram("h_seconds", "test", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.2, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`h_seconds_bucket{le="0.1"}`:  2, // 0.05 and the boundary value 0.1
+		`h_seconds_bucket{le="1"}`:    4, // + 0.2, 1.0
+		`h_seconds_bucket{le="10"}`:   5, // + 5
+		`h_seconds_bucket{le="+Inf"}`: 6, // + 100
+		`h_seconds_count`:             6,
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %g, want %g", k, samples[k], v)
+		}
+	}
+	wantSum := 0.05 + 0.1 + 0.2 + 1.0 + 5 + 100
+	if math.Abs(samples["h_seconds_sum"]-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", samples["h_seconds_sum"], wantSum)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count() = %d, want 6", got)
+	}
+}
+
+// TestConcurrentIncrements hammers a counter, a gauge, and a histogram
+// from many goroutines; run under -race this is the data-race gate, and
+// the final values prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.NewCounter("c_total", "test")
+	g := r.NewGauge("g", "test")
+	h := r.NewHistogram("h_seconds", "test", obs.DefBuckets)
+	vec := r.NewCounterVec("v_total", "test", "route")
+
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%7) * 0.001)
+				vec.With("/query").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("/query").Value(); got != workers*perWorker {
+		t.Errorf("vec counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestTextFormatValid scrapes a registry with every metric kind and label
+// shape through the ParseText checker: HELP/TYPE grammar, type-known
+// families, well-formed samples, no duplicate series.
+func TestTextFormatValid(t *testing.T) {
+	r := obs.NewRegistry()
+	r.NewCounter("a_total", "counts a").Add(3)
+	r.NewGauge("b_inflight", "gauges b").Set(-2)
+	r.NewCounterVec("c_total", "labeled counter", "route", "code").With("/fleet", "200").Inc()
+	r.NewHistogramVec("d_seconds", `latency with "quotes" and \slashes`, []float64{0.5}, "route").
+		With("/query").Observe(0.25)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v", err)
+	}
+	checks := map[string]float64{
+		`a_total`:    3,
+		`b_inflight`: -2,
+		`c_total{route="/fleet",code="200"}`:    1,
+		`d_seconds_bucket{route="/query",le="0.5"}`:  1,
+		`d_seconds_bucket{route="/query",le="+Inf"}`: 1,
+		`d_seconds_count{route="/query"}`:            1,
+	}
+	for k, v := range checks {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("series %s missing from exposition", k)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %g, want %g", k, got, v)
+		}
+	}
+}
+
+// TestSnapshotDeterminism: two scrapes with no traffic in between are
+// byte-identical, regardless of the (map-ordered) registration and
+// observation history.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := obs.NewRegistry()
+	vec := r.NewCounterVec("z_total", "test", "route")
+	for _, route := range []string{"/c", "/a", "/b"} {
+		vec.With(route).Inc()
+	}
+	r.NewHistogram("m_seconds", "test", []float64{1, 2}).Observe(1.5)
+	r.NewGauge("a_gauge", "test").Set(7)
+
+	var first, second bytes.Buffer
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("scrapes differ:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+	// Families must appear in sorted order so diffs between scrapes are
+	// stable for operators, not just for this process.
+	text := first.String()
+	ia := strings.Index(text, "# TYPE a_gauge")
+	im := strings.Index(text, "# TYPE m_seconds")
+	iz := strings.Index(text, "# TYPE z_total")
+	if !(ia >= 0 && ia < im && im < iz) {
+		t.Errorf("families not sorted by name:\n%s", text)
+	}
+	// Series within a family sort by label value.
+	if !(strings.Index(text, `z_total{route="/a"}`) < strings.Index(text, `z_total{route="/b"}`) &&
+		strings.Index(text, `z_total{route="/b"}`) < strings.Index(text, `z_total{route="/c"}`)) {
+		t.Errorf("series not sorted by label values:\n%s", text)
+	}
+}
+
+// TestParseTextRejects covers the checker's own teeth: missing TYPE,
+// unknown kind, malformed samples, duplicate series.
+func TestParseTextRejects(t *testing.T) {
+	bad := []string{
+		"a_total 1",                                // sample before TYPE
+		"# TYPE a_total sparkline\na_total 1",      // unknown kind
+		"# TYPE a_total counter\na_total one",      // non-numeric value
+		"# TYPE a_total counter\na_total 1\na_total 1", // duplicate series
+		"# HELPa_total x",                          // malformed comment
+	}
+	for _, text := range bad {
+		if _, err := obs.ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseText accepted invalid exposition %q", text)
+		}
+	}
+	good := "# HELP a_total ok\n# TYPE a_total counter\na_total 41\n"
+	samples, err := obs.ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseText rejected valid exposition: %v", err)
+	}
+	if samples["a_total"] != 41 {
+		t.Errorf("a_total = %g, want 41", samples["a_total"])
+	}
+}
+
+// TestRegistrationPanics: name collisions and malformed schemas are
+// caught at registration (init) time, not at scrape time.
+func TestRegistrationPanics(t *testing.T) {
+	cases := map[string]func(r *obs.Registry){
+		"duplicate name": func(r *obs.Registry) {
+			r.NewCounter("x_total", "a")
+			r.NewGauge("x_total", "b")
+		},
+		"bad metric name": func(r *obs.Registry) { r.NewCounter("0bad", "x") },
+		"reserved le label": func(r *obs.Registry) {
+			r.NewHistogramVec("h_seconds", "x", []float64{1}, "le")
+		},
+		"unsorted buckets": func(r *obs.Registry) {
+			r.NewHistogram("h_seconds", "x", []float64{2, 1})
+		},
+		"label arity": func(r *obs.Registry) {
+			r.NewCounterVec("x_total", "x", "route").With("a", "b").Inc()
+		},
+		"negative counter add": func(r *obs.Registry) {
+			r.NewCounter("x_total", "x").Add(-1)
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(obs.NewRegistry())
+		}()
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one label name/value pair of a snapshot series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// SeriesSnapshot is one series of a FamilySnapshot at scrape time.
+// Counters and gauges fill Value; histograms fill Buckets (cumulative,
+// ending with the +Inf bucket, whose bound is math.Inf(1)), Sum, and
+// Count.
+type SeriesSnapshot struct {
+	Labels  []Label
+	Value   float64
+	Buckets []BucketCount
+	Sum     float64
+	Count   int64
+}
+
+// BucketCount is one cumulative histogram bucket: the number of
+// observations less than or equal to UpperBound.
+type BucketCount struct {
+	UpperBound float64
+	Count      int64
+}
+
+// FamilySnapshot is one metric family at scrape time: metadata plus its
+// series sorted by label values.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Type   string // "counter", "gauge", or "histogram"
+	Labels []string
+	Series []SeriesSnapshot
+}
+
+// Snapshot captures every family deterministically: families sort by
+// name, series by label-value tuple, histogram buckets are cumulative.
+// Individual values are read atomically; a scrape concurrent with
+// traffic may observe different series at slightly different instants,
+// which Prometheus-style monitoring tolerates by design.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Type:   string(f.kind),
+			Labels: append([]string(nil), f.labels...),
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{}
+			for i, lv := range s.labelValues {
+				ss.Labels = append(ss.Labels, Label{Name: f.labels[i], Value: lv})
+			}
+			if f.kind == kindHistogram {
+				var cum int64
+				for i := range s.bucketN {
+					cum += s.bucketN[i].Load()
+					bound := math.Inf(1)
+					if i < len(f.buckets) {
+						bound = f.buckets[i]
+					}
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: bound, Count: cum})
+				}
+				ss.Count = cum
+				ss.Sum = math.Float64frombits(s.sumBits.Load())
+			} else {
+				ss.Value = float64(s.val.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4). The rendering is deterministic — see Snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, fs := range r.Snapshot() {
+		if fs.Help != "" {
+			fmt.Fprintf(&buf, "# HELP %s %s\n", fs.Name, escapeHelp(fs.Help))
+		}
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", fs.Name, fs.Type)
+		for _, s := range fs.Series {
+			base := renderLabels(s.Labels)
+			if fs.Type == string(kindHistogram) {
+				for _, b := range s.Buckets {
+					fmt.Fprintf(&buf, "%s_bucket%s %d\n",
+						fs.Name, renderLabels(append(append([]Label(nil), s.Labels...),
+							Label{Name: "le", Value: formatBound(b.UpperBound)})), b.Count)
+				}
+				fmt.Fprintf(&buf, "%s_sum%s %s\n", fs.Name, base, formatValue(s.Sum))
+				fmt.Fprintf(&buf, "%s_count%s %d\n", fs.Name, base, s.Count)
+			} else {
+				fmt.Fprintf(&buf, "%s%s %s\n", fs.Name, base, formatValue(s.Value))
+			}
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// renderLabels renders `{a="x",b="y"}`, or "" for an unlabeled series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the exposition-format label escapes.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp applies the exposition-format HELP escapes.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	h = strings.ReplaceAll(h, "\n", `\n`)
+	return h
+}
+
+// formatBound renders a histogram bucket bound, "+Inf" for the terminal
+// bucket.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// formatValue renders a sample value in the shortest exact form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as GET /metrics content.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			// Headers are out; nothing to send the client. The scrape is
+			// simply short and the next one retries.
+			return
+		}
+	})
+}
+
+// Handler serves the Default registry as GET /metrics content.
+func Handler() http.Handler { return Default.Handler() }
+
+var sampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+\-]+|\+Inf|-Inf|NaN)$`)
+
+// ParseText parses Prometheus text-format exposition into a map from
+// rendered series (name plus label block, exactly as exposed, e.g.
+// `domd_http_requests_total{code="200",method="GET",route="/query"}`)
+// to sample value. It validates the subset of the format WriteText
+// emits — HELP/TYPE comment grammar, TYPE-before-samples ordering, known
+// types, well-formed samples — and is the checker the metrics test
+// suites scrape with.
+func ParseText(rd io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("obs: line %d: malformed comment %q", line, text)
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return nil, fmt.Errorf("obs: line %d: bad metric name %q", line, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: TYPE missing kind", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", line, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			return nil, fmt.Errorf("obs: line %d: malformed sample %q", line, text)
+		}
+		name := m[1]
+		fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := typed[fam]; !ok {
+			if _, ok := typed[name]; !ok {
+				return nil, fmt.Errorf("obs: line %d: sample %q precedes its TYPE line", line, name)
+			}
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", line, m[3], err)
+		}
+		key := name + m[2]
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %q", line, key)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan: %w", err)
+	}
+	return out, nil
+}

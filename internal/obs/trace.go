@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stopwatch measures a wall-clock duration on behalf of packages where
+// the walltime lint invariant bans time.Now (statusq, features, …):
+// obs owns the only ambient clock, and instrumented code deals in opaque
+// stopwatches. The zero Stopwatch reads as a zero duration.
+type Stopwatch struct{ start time.Time }
+
+// StartTimer starts a stopwatch at the current wall-clock time.
+func StartTimer() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Seconds reports the elapsed time in seconds.
+func (s Stopwatch) Seconds() float64 {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start).Seconds()
+}
+
+// Duration reports the elapsed time.
+func (s Stopwatch) Duration() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// procID is a per-process random prefix baked into request ids so that
+// ids from different processes (or restarts) never collide in aggregated
+// logs; spanSeq distinguishes requests within the process.
+var (
+	procID  = newProcID()
+	spanSeq atomic.Uint64
+)
+
+// newProcID draws four random bytes; on the (never observed) failure of
+// the system randomness source it degrades to a fixed prefix rather than
+// refusing to serve — ids are a log-correlation aid, not a security
+// boundary.
+func newProcID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Attr is one key/value annotation on a Span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one request's trace: identity (id, method, route), outcome
+// (status, duration), and handler-set attributes such as the answering
+// engine's asOf/stale markers or a shed/panic outcome. Handlers retrieve
+// the active span with FromContext and annotate it with Set*; the server
+// middleware emits the finished span as one structured log line (Line)
+// through the request logger. Attrs appends are safe for concurrent use
+// (a /fleet fan-out annotates from many goroutines).
+type Span struct {
+	// ID is the request id: <process hex>-<per-process sequence>.
+	ID string
+	// Method and Route identify the request; Route is the bounded route
+	// label, not the raw URL.
+	Method string
+	Route  string
+
+	sw Stopwatch
+
+	mu    sync.Mutex // guards attrs
+	attrs []Attr
+}
+
+// NewSpan starts a span (and its stopwatch) for one request.
+func NewSpan(method, route string) *Span {
+	return &Span{
+		ID:     fmt.Sprintf("%s-%06d", procID, spanSeq.Add(1)),
+		Method: method,
+		Route:  route,
+		sw:     StartTimer(),
+	}
+}
+
+// Elapsed reports the time since the span started — the same duration
+// Line renders, exposed so callers can feed one consistent number into a
+// latency histogram.
+func (s *Span) Elapsed() time.Duration { return s.sw.Duration() }
+
+// Set appends one string attribute. Keys repeat in emission order; the
+// reader sees annotations in the order handlers made them.
+func (s *Span) Set(key, value string) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt appends one integer attribute.
+func (s *Span) SetInt(key string, v int64) { s.Set(key, strconv.FormatInt(v, 10)) }
+
+// SetBool appends one boolean attribute.
+func (s *Span) SetBool(key string, v bool) { s.Set(key, strconv.FormatBool(v)) }
+
+// Line renders the finished span as one structured key=value log line:
+//
+//	trace id=3f2a9c1b-000042 method=GET route=/query status=200 dur_ms=1.234 asOf=3 stale=false
+//
+// Values containing spaces or quotes are rendered with %q so the line
+// stays machine-splittable on spaces.
+func (s *Span) Line(status int) string {
+	var sb strings.Builder
+	sb.WriteString("trace id=")
+	sb.WriteString(s.ID)
+	sb.WriteString(" method=")
+	sb.WriteString(s.Method)
+	sb.WriteString(" route=")
+	sb.WriteString(s.Route)
+	sb.WriteString(" status=")
+	sb.WriteString(strconv.Itoa(status))
+	sb.WriteString(" dur_ms=")
+	sb.WriteString(strconv.FormatFloat(s.sw.Seconds()*1e3, 'f', 3, 64))
+	s.mu.Lock()
+	attrs := s.attrs
+	s.mu.Unlock()
+	for _, a := range attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		if strings.ContainsAny(a.Value, " \"\n") || a.Value == "" {
+			sb.WriteString(strconv.Quote(a.Value))
+		} else {
+			sb.WriteString(a.Value)
+		}
+	}
+	return sb.String()
+}
+
+// ctxKey keys the active span in a request context.
+type ctxKey struct{}
+
+// WithSpan returns ctx carrying the span.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when the request is not
+// traced (callers must nil-check or use the Set* helpers on a nil-safe
+// wrapper of their own).
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

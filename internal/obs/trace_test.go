@@ -1,0 +1,89 @@
+package obs_test
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"domd/internal/obs"
+)
+
+var traceLineRe = regexp.MustCompile(
+	`^trace id=[0-9a-f]{8}-\d{6} method=GET route=/query status=200 dur_ms=\d+\.\d{3}`)
+
+// TestSpanLine pins the structured trace-line grammar handlers and
+// operators grep for, including attribute ordering and quoting.
+func TestSpanLine(t *testing.T) {
+	s := obs.NewSpan("GET", "/query")
+	s.SetInt("asOf", 3)
+	s.SetBool("stale", true)
+	s.Set("outcome", "engine build failed")
+	line := s.Line(200)
+	if !traceLineRe.MatchString(line) {
+		t.Errorf("trace line %q does not match the documented grammar", line)
+	}
+	if !strings.Contains(line, " asOf=3 stale=true ") {
+		t.Errorf("attributes missing or out of order: %q", line)
+	}
+	if !strings.Contains(line, `outcome="engine build failed"`) {
+		t.Errorf("value with spaces not quoted: %q", line)
+	}
+}
+
+// TestSpanIDsUnique: ids must differ between requests in one process.
+func TestSpanIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := obs.NewSpan("GET", "/fleet").ID
+		if seen[id] {
+			t.Fatalf("duplicate span id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanContextRoundTrip: WithSpan/FromContext carry the span, and an
+// untraced context yields nil.
+func TestSpanContextRoundTrip(t *testing.T) {
+	if obs.FromContext(context.Background()) != nil {
+		t.Error("untraced context returned a span")
+	}
+	s := obs.NewSpan("POST", "/rccs")
+	ctx := obs.WithSpan(context.Background(), s)
+	if got := obs.FromContext(ctx); got != s {
+		t.Errorf("FromContext = %v, want the installed span", got)
+	}
+}
+
+// TestSpanConcurrentAnnotation mirrors the /fleet fan-out: many
+// goroutines annotating one span must be race-free (the -race gate) and
+// lose no attribute.
+func TestSpanConcurrentAnnotation(t *testing.T) {
+	s := obs.NewSpan("GET", "/fleet")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.SetInt("row", int64(i))
+		}(i)
+	}
+	wg.Wait()
+	if got := strings.Count(s.Line(200), " row="); got != 32 {
+		t.Errorf("%d row attributes, want 32", got)
+	}
+}
+
+// TestStopwatchZero: the zero Stopwatch reads as zero rather than as a
+// huge since-epoch duration.
+func TestStopwatchZero(t *testing.T) {
+	var sw obs.Stopwatch
+	if sw.Seconds() != 0 || sw.Duration() != 0 {
+		t.Errorf("zero stopwatch = %v / %v, want 0", sw.Seconds(), sw.Duration())
+	}
+	if obs.StartTimer().Seconds() < 0 {
+		t.Error("running stopwatch went negative")
+	}
+}

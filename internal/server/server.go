@@ -10,6 +10,11 @@
 //	GET  /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
 //	GET  /fleet?date=2024-04-12            DoMD for every ongoing avail
 //	POST /rccs                             ingest one RCC (contract change)
+//	GET  /metrics                          Prometheus text-format metrics
+//
+// The canonical endpoint table is Endpoints (obs.go); New registers the
+// mux from it, `domd serve -h` prints it, and docs/OPERATIONS.md is
+// cross-checked against it, so the three surfaces cannot drift.
 //
 // # Ingestion
 //
@@ -33,17 +38,27 @@
 // ingest landed mid-query). Clients that must not act on degraded data
 // check "stale"; everyone else gets availability instead of a 5xx.
 //
-// # Middleware
+// # Middleware and observability
 //
 // Every request passes a stack applied in ServeHTTP: panic recovery
 // (500 + stack log; the process keeps serving), a per-request deadline
 // (Options.RequestTimeout), and a concurrency limiter that sheds load
 // with 503 + Retry-After once Options.MaxInFlight requests are in
-// flight. /healthz and /readyz bypass shedding so probes stay accurate
-// under overload. The handler is safe for concurrent use: queries are
-// answered from the catalog's cached per-avail engines (single-flight
-// built), and /fleet fans out with bounded parallelism, per-avail error
-// isolation, and request-context propagation.
+// flight. /healthz, /readyz, and /metrics bypass shedding so probes and
+// scrapes stay accurate under overload. The handler is safe for
+// concurrent use: queries are answered from the catalog's cached
+// per-avail engines (single-flight built), and /fleet fans out with
+// bounded parallelism, per-avail error isolation, and request-context
+// propagation.
+//
+// The same stack instruments every request: per-route request counters
+// and latency histograms, an in-flight gauge, and shed/panic counters in
+// the obs.Default registry (served back out on GET /metrics), plus one
+// obs.Span per request — carried in the request context, annotated by
+// handlers with the engine's asOf/stale markers and ingest outcomes, and
+// emitted through Options.Logger as a single structured trace line. The
+// metric catalog and trace-line grammar are documented in
+// docs/OPERATIONS.md.
 package server
 
 import (
@@ -61,6 +76,7 @@ import (
 	"domd/internal/core"
 	"domd/internal/domain"
 	"domd/internal/features"
+	"domd/internal/obs"
 	"domd/internal/statusq"
 	"domd/internal/swlin"
 )
@@ -169,12 +185,31 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, op
 	case opts.RequestTimeout > 0:
 		s.timeout = opts.RequestTimeout
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /avails", s.handleAvails)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("GET /fleet", s.handleFleet)
-	s.mux.HandleFunc("POST /rccs", s.handleIngest)
+	// Register routes from the Endpoints table so the documented surface
+	// and the served surface are one artifact; a table row without a
+	// handler (or vice versa) fails the first constructed server, which
+	// every test exercises.
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz": s.handleHealth,
+		"GET /readyz":  s.handleReady,
+		"GET /avails":  s.handleAvails,
+		"GET /query":   s.handleQuery,
+		"GET /fleet":   s.handleFleet,
+		"POST /rccs":   s.handleIngest,
+		"GET /metrics": obs.Handler().ServeHTTP,
+	}
+	for _, e := range Endpoints() {
+		pattern := e.Method + " " + e.Path
+		h, ok := handlers[pattern]
+		if !ok {
+			panic(fmt.Sprintf("server: endpoint table row %q has no handler", pattern))
+		}
+		s.mux.HandleFunc(pattern, h)
+		delete(handlers, pattern)
+	}
+	if len(handlers) != 0 {
+		panic(fmt.Sprintf("server: %d handlers missing from the endpoint table", len(handlers)))
+	}
 	return s
 }
 
@@ -230,11 +265,32 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // ServeHTTP implements http.Handler: the middleware stack (panic
-// recovery, load shedding, per-request deadline, request log) around the
-// route mux.
+// recovery, load shedding, per-request deadline, metrics, trace
+// emission) around the route mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	route := routeLabel(r.URL.Path)
+	span := obs.NewSpan(r.Method, route)
+	if uri := r.URL.RequestURI(); uri != route {
+		span.Set("uri", uri)
+	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	mInFlight.Inc()
+	defer mInFlight.Dec()
+	// finish records the request outcome exactly once: route counters,
+	// the latency histogram, and the structured trace line through the
+	// request logger. Every exit path below funnels through it.
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		mRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+		mLatency.With(route).Observe(span.Elapsed().Seconds())
+		if s.logger != nil {
+			s.logger.Printf("%s", span.Line(rec.status))
+		}
+	}
 
 	// Panic recovery: a panicking handler answers 500 (when the header
 	// is still ours to send) and the process keeps serving. net/http
@@ -246,42 +302,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
 				panic(v)
 			}
+			mPanics.Inc()
+			span.Set("outcome", "panic")
 			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 			if !rec.wrote {
 				s.writeErr(rec, r, http.StatusInternalServerError, fmt.Errorf("internal server error"))
 			}
-			if s.logger != nil {
-				s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
-			}
+			finish()
 		}
 	}()
 
-	// Load shedding — but never for probes: a saturated server must
-	// still answer /healthz (it is alive) and /readyz honestly.
-	if s.inflight != nil && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+	// Load shedding — but never for probes or scrapes: a saturated
+	// server must still answer /healthz (it is alive), /readyz honestly,
+	// and /metrics, or overload hides its own diagnosis.
+	if s.inflight != nil && !probeBypass(r.URL.Path) {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
+			mShed.Inc()
+			span.Set("outcome", "shed")
 			rec.Header().Set("Retry-After", "1")
 			s.writeErr(rec, r, http.StatusServiceUnavailable, fmt.Errorf("server at capacity; retry"))
-			if s.logger != nil {
-				s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
-			}
+			finish()
 			return
 		}
 	}
 
+	ctx := obs.WithSpan(r.Context(), span)
 	if s.timeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		tctx, cancel := context.WithTimeout(ctx, s.timeout)
 		defer cancel()
-		r = r.WithContext(ctx)
+		ctx = tctx
 	}
+	r = r.WithContext(ctx)
 
 	s.mux.ServeHTTP(rec, r)
-	if s.logger != nil {
-		s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
-	}
+	finish()
 }
 
 type errorBody struct {
@@ -450,6 +507,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, status, err)
 		return
 	}
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		sp.SetInt("asOf", view.AsOf)
+		sp.SetBool("stale", view.Stale)
+	}
 	s.writeJSON(w, r, http.StatusOK, view)
 }
 
@@ -488,6 +549,19 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		stale, failed := 0, 0
+		for i := range rows {
+			if rows[i].Error != "" {
+				failed++
+			} else if rows[i].Result != nil && rows[i].Result.Stale {
+				stale++
+			}
+		}
+		sp.SetInt("rows", int64(len(rows)))
+		sp.SetInt("staleRows", int64(stale))
+		sp.SetInt("failedRows", int64(failed))
+	}
 	s.writeJSON(w, r, http.StatusOK, rows)
 }
 
@@ -567,6 +641,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusCreated
 	if dup {
 		status = http.StatusOK
+	}
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		sp.SetInt("rcc", int64(rcc.ID))
+		sp.SetBool("duplicate", dup)
 	}
 	s.writeJSON(w, r, status, ingestView{ID: rcc.ID, AvailID: rcc.AvailID, Key: key, Duplicate: dup})
 }

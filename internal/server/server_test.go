@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -329,8 +330,10 @@ func TestRouteStatusCodes(t *testing.T) {
 	}
 }
 
-// TestRequestLogging checks the Options.Logger wiring: one line per
-// request carrying method, path, and status.
+// TestRequestLogging checks the Options.Logger wiring: one structured
+// trace line per request carrying request id, method, route, status, and
+// duration (the grammar docs/OPERATIONS.md documents for incident
+// diagnosis), with the raw URI attached when it differs from the route.
 func TestRequestLogging(t *testing.T) {
 	pipe, ext := trainTestPipeline()
 	catalog, err := statusq.NewCatalog(nil, nil, index.KindAVL)
@@ -343,10 +346,17 @@ func TestRequestLogging(t *testing.T) {
 	rawBody(t, srv.URL+"/avails", http.StatusOK)
 	rawBody(t, srv.URL+"/query?avail=junk&date=x", http.StatusBadRequest)
 	logged := buf.String()
-	if !strings.Contains(logged, "GET /avails 200") {
-		t.Errorf("missing 200 access log line in %q", logged)
+	okRe := regexp.MustCompile(`trace id=[0-9a-f]{8}-\d{6} method=GET route=/avails status=200 dur_ms=\d+\.\d{3}`)
+	if !okRe.MatchString(logged) {
+		t.Errorf("missing 200 trace line in %q", logged)
 	}
-	if !strings.Contains(logged, "GET /query?avail=junk&date=x 400") {
-		t.Errorf("missing 400 access log line in %q", logged)
+	badRe := regexp.MustCompile(`trace id=[0-9a-f]{8}-\d{6} method=GET route=/query status=400 dur_ms=\d+\.\d{3} uri=/query\?avail=junk&date=x`)
+	if !badRe.MatchString(logged) {
+		t.Errorf("missing 400 trace line with uri attribute in %q", logged)
+	}
+	// Distinct requests carry distinct ids.
+	ids := regexp.MustCompile(`id=([0-9a-f]{8}-\d{6})`).FindAllStringSubmatch(logged, -1)
+	if len(ids) != 2 || ids[0][1] == ids[1][1] {
+		t.Errorf("expected two distinct request ids, got %v", ids)
 	}
 }

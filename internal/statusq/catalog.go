@@ -10,6 +10,7 @@ import (
 	"domd/internal/domain"
 	"domd/internal/faultinject"
 	"domd/internal/index"
+	"domd/internal/obs"
 )
 
 // ErrUnknownAvail is the sentinel wrapped by every catalog operation that
@@ -71,11 +72,18 @@ type engineSlot struct {
 func (s *engineSlot) build(c *Catalog) {
 	s.once.Do(func() {
 		c.builds.Add(1)
+		mEngineBuilds.Inc()
+		sw := obs.StartTimer()
 		if err := faultinject.Fire(FailEngineBuild); err != nil {
 			s.err = fmt.Errorf("statusq: build engine for avail %d: %w", s.avail.ID, err)
+			mEngineBuildFailures.Inc()
 			return
 		}
 		s.eng, s.err = NewEngine(s.avail, s.rccs, c.kind)
+		mEngineBuildSeconds.ObserveSince(sw)
+		if s.err != nil {
+			mEngineBuildFailures.Inc()
+		}
 	})
 }
 
@@ -159,6 +167,9 @@ func (c *Catalog) slotFor(id int) (*engineSlot, error) {
 	c.mu.RLock()
 	slot := c.engines[id]
 	c.mu.RUnlock()
+	if slot != nil {
+		mEngineCacheHits.Inc()
+	}
 	if slot == nil {
 		a, ok := c.avails[id]
 		if !ok {
@@ -223,16 +234,23 @@ func (c *Catalog) EngineAsOf(id int) (eng *Engine, asOf int64, stale bool, err e
 	c.mu.RUnlock()
 	if slot.err != nil {
 		if lg != nil {
+			mStaleServes.Inc()
 			return lg.eng, lg.rev, true, nil
 		}
 		return nil, 0, false, slot.err
 	}
+	if slot.rev < cur {
+		mStaleServes.Inc()
+	}
 	return slot.eng, slot.rev, slot.rev < cur, nil
 }
 
-// EngineBuilds reports how many engine constructions the catalog has
+// EngineBuilds reports how many engine constructions this catalog has
 // performed — the observable that serving paths reuse cached engines
-// instead of re-indexing per request.
+// instead of re-indexing per request. The same increments feed the
+// process-wide domd_engine_builds_total counter in obs.Default (which
+// aggregates across catalogs and is what GET /metrics serves); this
+// method remains the per-catalog view.
 func (c *Catalog) EngineBuilds() int64 { return c.builds.Load() }
 
 // Eval answers a Status Query for one avail at logical time ts.

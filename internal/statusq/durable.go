@@ -133,10 +133,12 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 	for _, e := range entries {
 		if e.Key != "" && d.seen[e.Key] {
 			info.Duplicates++
+			mIngestRestored.With("duplicate").Inc()
 			continue
 		}
 		if err := cat.AddRCC(e.RCC); err != nil {
 			info.Skipped++
+			mIngestRestored.With("orphaned").Inc()
 			continue
 		}
 		if e.Key != "" {
@@ -144,6 +146,7 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 		}
 		d.applied = append(d.applied, e)
 		info.Restored++
+		mIngestRestored.With("applied").Inc()
 	}
 	d.open.Store(true)
 	return d, info, nil
@@ -208,20 +211,24 @@ func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if key != "" && d.seen[key] {
+		mIngestDuplicates.Inc()
 		return true, nil
 	}
 	if _, err := d.log.Append(payload); err != nil {
 		// Not acknowledged: the client must retry (the server maps this
 		// to 503). If the OS got the bytes down anyway, replay surfaces
 		// the record and the retry's idempotency key dedups it.
+		mIngestFailures.Inc()
 		return false, err
 	}
 	// Crash window: durable but not yet applied. A kill here (the armed
 	// hook panics) is recovered by replay at the next OpenDurable.
 	if err := faultinject.Fire(FailDurableApply); err != nil {
+		mIngestFailures.Inc()
 		return false, fmt.Errorf("statusq: apply ingested rcc %d: %w", r.ID, err)
 	}
 	if err := d.Catalog.AddRCC(r); err != nil {
+		mIngestFailures.Inc()
 		return false, err
 	}
 	if key != "" {
@@ -229,6 +236,7 @@ func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) 
 	}
 	d.applied = append(d.applied, e)
 	d.sinceSnap++
+	mIngestAcks.Inc()
 	if d.opts.CompactEvery > 0 && d.sinceSnap >= d.opts.CompactEvery {
 		// Auto-compaction failure must not fail the already-durable
 		// ingest; record it for LastCompactError instead. The applied

@@ -1,0 +1,29 @@
+package statusq
+
+import "domd/internal/obs"
+
+// Serving-path metrics, registered process-wide in obs.Default and
+// exposed on GET /metrics (catalog: docs/OPERATIONS.md). Counters here
+// aggregate across every Catalog in the process; the per-catalog
+// EngineBuilds method remains the fine-grained view tests assert on.
+var (
+	mEngineBuilds = obs.NewCounter("domd_engine_builds_total",
+		"Status Query engine constructions (cache misses and post-ingest rebuilds).")
+	mEngineBuildFailures = obs.NewCounter("domd_engine_build_failures_total",
+		"Engine constructions that failed (bad history or injected fault).")
+	mEngineBuildSeconds = obs.NewHistogram("domd_engine_build_duration_seconds",
+		"Engine construction latency in seconds.", obs.DefBuckets)
+	mEngineCacheHits = obs.NewCounter("domd_engine_cache_hits_total",
+		"Engine lookups answered from the catalog's cache without building.")
+	mStaleServes = obs.NewCounter("domd_engine_stale_serves_total",
+		"Degraded answers served from a stale engine (failed rebuild or racing ingest).")
+
+	mIngestAcks = obs.NewCounter("domd_ingest_acks_total",
+		"RCC ingests durably logged, applied, and acknowledged.")
+	mIngestDuplicates = obs.NewCounter("domd_ingest_duplicates_total",
+		"Ingest calls answered as idempotent replays of an earlier acknowledgment.")
+	mIngestFailures = obs.NewCounter("domd_ingest_failures_total",
+		"Ingest calls that failed without acknowledgment (storage fault, closed WAL, invalid record).")
+	mIngestRestored = obs.NewCounterVec("domd_ingest_restored_total",
+		"WAL-replayed delta RCCs at startup, by outcome.", "outcome")
+)

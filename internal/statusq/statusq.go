@@ -31,6 +31,16 @@
 // sweep keeps that set in an intrusive linked list and rebuilds the Active
 // cells in O(a_j), with a_j bounded by the peak number of concurrently open
 // RCCs. Margins are O(1) per step (fixed 4 × 11 grid shape).
+//
+// # Observability
+//
+// The serving-side types (Catalog, DurableCatalog) are instrumented
+// through internal/obs: engine build counts/latency/failures, cache
+// hits, degraded-mode stale serves, and ingestion acks/duplicates/
+// failures/restores are exported as domd_engine_* and domd_ingest_*
+// metrics on GET /metrics (catalog: docs/OPERATIONS.md). Durations use
+// obs stopwatches because the walltime lint invariant bans time.Now
+// here — logical time t* remains the only clock in query results.
 package statusq
 
 import (

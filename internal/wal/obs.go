@@ -1,0 +1,23 @@
+package wal
+
+import "domd/internal/obs"
+
+// Durability metrics, registered process-wide in obs.Default and exposed
+// on GET /metrics (catalog: docs/OPERATIONS.md). They aggregate across
+// every Log in the process.
+var (
+	mAppends = obs.NewCounter("domd_wal_appends_total",
+		"WAL records appended (durably written per the sync policy).")
+	mAppendFailures = obs.NewCounter("domd_wal_append_failures_total",
+		"WAL appends that failed before acknowledgment (write or fsync error, injected fault).")
+	mSyncs = obs.NewCounter("domd_wal_syncs_total",
+		"WAL fsync calls issued by appends and Close.")
+	mSyncSeconds = obs.NewHistogram("domd_wal_sync_duration_seconds",
+		"WAL fsync latency in seconds.", obs.DefBuckets)
+	mCompactions = obs.NewCounter("domd_wal_compactions_total",
+		"Snapshot-and-truncate compactions completed.")
+	mCompactionFailures = obs.NewCounter("domd_wal_compaction_failures_total",
+		"Compactions that failed (the log keeps growing; durability is unaffected).")
+	mTornTailCuts = obs.NewCounter("domd_wal_torn_tail_cuts_total",
+		"Torn or corrupt log tails cut off during restore.")
+)

@@ -50,6 +50,7 @@ import (
 	"sync"
 
 	"domd/internal/faultinject"
+	"domd/internal/obs"
 )
 
 // Failpoint site names threaded through the hot path (see package
@@ -306,6 +307,7 @@ func cut(path string, size, offset int64, rec *Recovered) {
 	rec.Info.TornTail = true
 	rec.Info.TornOffset = offset
 	rec.Info.TornBytes = size - offset
+	mTornTailCuts.Inc()
 	os.Truncate(path, offset) //lint:ignore droppederr best-effort cleanup; next Open re-cuts at the same boundary
 }
 
@@ -343,9 +345,11 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 		return 0, err
 	}
 	if err := faultinject.Fire(FailAppendWrite); err != nil {
+		mAppendFailures.Inc()
 		return 0, fmt.Errorf("wal: append write: %w", err)
 	}
 	if _, err := l.f.Write(line); err != nil {
+		mAppendFailures.Inc()
 		return 0, fmt.Errorf("wal: append write: %w", err)
 	}
 	l.seq++
@@ -355,13 +359,19 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 			// The write reached the file but its durability is unknown;
 			// the caller must refuse to acknowledge. Replay will surface
 			// the record iff the OS got it down.
+			mAppendFailures.Inc()
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
+		sw := obs.StartTimer()
 		if err := l.f.Sync(); err != nil {
+			mAppendFailures.Inc()
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
+		mSyncs.Inc()
+		mSyncSeconds.ObserveSince(sw)
 		l.unsynced = 0
 	}
+	mAppends.Inc()
 	return l.seq, nil
 }
 
@@ -378,9 +388,14 @@ func (l *Log) Seq() uint64 {
 // temp file, fsynced, renamed, directory fsynced) before the log is
 // touched; a crash between the two steps merely leaves log records the
 // next replay skips by sequence number.
-func (l *Log) Snapshot(payload []byte) error {
+func (l *Log) Snapshot(payload []byte) (err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	defer func() {
+		if err != nil {
+			mCompactionFailures.Inc()
+		}
+	}()
 	if l.closed {
 		return ErrClosed
 	}
@@ -413,6 +428,7 @@ func (l *Log) Snapshot(payload []byte) error {
 	}
 	l.f = f
 	l.unsynced = 0
+	mCompactions.Inc()
 	return nil
 }
 
@@ -456,10 +472,13 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	if l.opts.Policy != SyncNever && l.unsynced > 0 {
+		sw := obs.StartTimer()
 		if err := l.f.Sync(); err != nil {
 			l.f.Close() //lint:ignore droppederr best-effort close on an already-failing path
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		mSyncs.Inc()
+		mSyncSeconds.ObserveSince(sw)
 	}
 	return l.f.Close()
 }

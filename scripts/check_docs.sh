@@ -1,0 +1,79 @@
+#!/bin/sh
+# check_docs.sh — fails the build when docs/OPERATIONS.md rots.
+#
+# The operator reference must track the code, so this script extracts the
+# machine-checkable facts from the sources and greps for each in the doc:
+#
+#   1. every endpoint row of server.Endpoints() ("METHOD /path"),
+#   2. every domd_* metric name registered through internal/obs,
+#   3. every `domd serve` flag (runServe plus the shared addCommon set),
+#   4. every faultinject failpoint name,
+#   5. the README link to the operations doc.
+#
+# Run via `make docs` (part of `make check`). Stdlib-shell only: POSIX
+# sh, grep, sed, awk.
+set -eu
+
+cd "$(dirname "$0")/.."
+DOC=docs/OPERATIONS.md
+fail=0
+
+[ -f "$DOC" ] || { echo "check_docs: $DOC missing"; exit 1; }
+
+# 1. Endpoints: rows of the Endpoints() table in internal/server/obs.go.
+endpoints=$(sed -n 's/^[[:space:]]*{"\([A-Z]*\)", "\(\/[a-z]*\)".*/\1 \2/p' internal/server/obs.go)
+[ -n "$endpoints" ] || { echo "check_docs: extracted no endpoints from internal/server/obs.go"; exit 1; }
+for e in $(printf '%s\n' "$endpoints" | tr ' ' '~'); do
+	pat=$(printf '%s' "$e" | tr '~' ' ')
+	if ! grep -qF "$pat" "$DOC"; then
+		echo "check_docs: endpoint \"$pat\" (server.Endpoints) not documented in $DOC"
+		fail=1
+	fi
+done
+
+# 2. Metric names: every registration call site across the module.
+metrics=$(grep -rho '"domd_[a-z_]*"' --include='*.go' internal/ cmd/ | tr -d '"' | sort -u)
+[ -n "$metrics" ] || { echo "check_docs: extracted no metric names"; exit 1; }
+for m in $metrics; do
+	if ! grep -q "$m" "$DOC"; then
+		echo "check_docs: metric $m registered in code but not documented in $DOC"
+		fail=1
+	fi
+done
+
+# 3. Serve flags: names declared inside runServe, plus the common set.
+serve_flags=$(awk '/^func runServe\(/,/^}/' cmd/domd/main.go |
+	sed -n 's/.*fs\.[A-Za-z0-9]*("\([a-z-]*\)".*/\1/p')
+common_flags=$(awk '/^func addCommon\(/,/^}/' cmd/domd/main.go |
+	sed -n 's/.*fs\.[A-Za-z0-9]*Var(&[^,]*, "\([a-z-]*\)".*/\1/p')
+[ -n "$serve_flags" ] || { echo "check_docs: extracted no serve flags from cmd/domd/main.go"; exit 1; }
+[ -n "$common_flags" ] || { echo "check_docs: extracted no common flags from cmd/domd/main.go"; exit 1; }
+for f in $serve_flags $common_flags; do
+	if ! grep -q -- "\`-$f\`" "$DOC"; then
+		echo "check_docs: serve flag -$f not documented in $DOC"
+		fail=1
+	fi
+done
+
+# 4. Failpoint names: Fail* constants in wal and statusq.
+failpoints=$(grep -rho 'Fail[A-Za-z]* = "[a-z.]*"' internal/wal/ internal/statusq/ |
+	sed 's/.*= "\(.*\)"/\1/' | sort -u)
+[ -n "$failpoints" ] || { echo "check_docs: extracted no failpoint names"; exit 1; }
+for fp in $failpoints; do
+	if ! grep -qF "$fp" "$DOC"; then
+		echo "check_docs: failpoint $fp not documented in $DOC"
+		fail=1
+	fi
+done
+
+# 5. The README must point operators at the doc.
+if ! grep -q "docs/OPERATIONS.md" README.md; then
+	echo "check_docs: README.md does not link docs/OPERATIONS.md"
+	fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+	echo "check_docs: FAILED — update docs/OPERATIONS.md to match the code"
+	exit 1
+fi
+echo "check_docs: OK"
