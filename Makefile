@@ -5,7 +5,7 @@ GO ?= go
 STRESS_COUNT ?= 3
 STRESS_TIMEOUT ?= 10m
 
-.PHONY: build vet test race stress chaos lint docs check bench
+.PHONY: build vet test race stress chaos lint docs differential check bench
 
 build:
 	$(GO) build ./...
@@ -55,12 +55,26 @@ docs:
 	$(GO) run ./cmd/domdlint -analyzers docstring ./...
 	sh scripts/check_docs.sh
 
-# check is the CI gate: compile, vet, race-test everything, repeat the
-# concurrency stress suite, re-run the chaos (fault-injection) suite,
-# then enforce the lint invariants (domdlint must exit 0 on the tree)
-# and the docs cross-checks.
-check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) lint && $(MAKE) docs
+# differential re-runs the incremental-maintenance equivalence suite
+# under the race detector: random RCC streams applied via the O(delta)
+# path must stay bitwise-identical (math.Float64bits) to engines rebuilt
+# from scratch, at the engine, catalog+WAL-replay, sweep, and
+# stat-structure layers.
+differential:
+	$(GO) test -race -count 1 -run 'TestDelta' ./internal/statusq/
 
+# check is the CI gate: compile, vet, race-test everything, repeat the
+# concurrency stress suite, re-run the chaos (fault-injection) suite and
+# the delta-vs-rebuild differential suite, then enforce the lint
+# invariants (domdlint must exit 0 on the tree) and the docs
+# cross-checks.
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) differential && $(MAKE) lint && $(MAKE) docs
+
+# bench runs the Go micro-benchmarks (including the statusq
+# ApplyRCC-vs-rebuild pair backing DESIGN.md §4.3) and then the loadgen
+# harness, which rewrites BENCH_6.json from a live served workload.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) test -run '^$$' -bench 'ApplyRCC|RebuildAfterIngest' -benchmem ./internal/statusq/
+	$(GO) run ./cmd/domd loadgen -duration 5s -serve-rccs 1500 -micro-iters 300 -out BENCH_6.json

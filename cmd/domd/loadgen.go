@@ -1,0 +1,649 @@
+// loadgen.go implements `domd loadgen`: a closed-loop load generator for
+// the serving stack, built to measure the incremental-ingest tentpole —
+// what happens to warm-avail query latency when RCCs stream in while
+// queries are being answered.
+//
+// In self-serve mode (the default) it trains a fast pipeline, generates a
+// serving fleet with -serve-rccs RCCs per avail, mounts the real
+// server.New handler on a loopback listener, and drives the same mixed
+// workload twice: once with the catalog's O(delta) ingest path disabled
+// (every ingest invalidates the cached engine — the rebuild storm) and
+// once enabled. Client-side latency percentiles per operation class,
+// server-side /metrics deltas (engine builds, delta applies/fallbacks,
+// request-duration histogram percentiles), and a micro-benchmark of
+// Engine.ApplyRCC-then-query versus NewEngine-then-query are written to
+// -out (BENCH_6.json) and echoed as "BENCH <name> <value>" lines.
+//
+// Against an external server (-addr) it runs a single scenario and skips
+// the A/B toggle and the micro-benchmark, which need in-process access.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domd/internal/core"
+	"domd/internal/domain"
+	"domd/internal/features"
+	"domd/internal/fusion"
+	"domd/internal/index"
+	"domd/internal/ml/gbt"
+	"domd/internal/navsim"
+	"domd/internal/obs"
+	"domd/internal/server"
+	"domd/internal/split"
+	"domd/internal/statusq"
+)
+
+// loadgenConfig carries the `domd loadgen` flags.
+type loadgenConfig struct {
+	addr       string
+	duration   time.Duration
+	clients    int
+	serveRCCs  int
+	seed       int64
+	microIters int
+	out        string
+}
+
+// opLatencies collects client-side durations per operation class.
+type opLatencies struct {
+	mu     sync.Mutex
+	byOp   map[string][]float64 // milliseconds
+	errors int
+}
+
+func (l *opLatencies) add(op string, ms float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byOp[op] = append(l.byOp[op], ms)
+}
+
+func (l *opLatencies) fail() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.errors++
+}
+
+// opReport is the per-operation-class summary written to the report.
+type opReport struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// scenarioReport is one workload run (delta path on or off).
+type scenarioReport struct {
+	Name       string              `json:"name"`
+	DeltaApply bool                `json:"delta_apply"`
+	Errors     int                 `json:"errors"`
+	Ops        map[string]opReport `json:"ops"`
+	// Metrics are server-side /metrics deltas across the run.
+	Metrics map[string]float64 `json:"metrics"`
+	// QueryP95ServerMS is the /query p95 estimated from the server's
+	// request-duration histogram buckets (client-side percentiles above
+	// include network and client scheduling).
+	QueryP95ServerMS float64 `json:"query_p95_server_ms"`
+}
+
+// microReport is the in-process ingest-then-query micro-benchmark.
+type microReport struct {
+	RCCsPerAvail int     `json:"rccs_per_avail"`
+	Iters        int     `json:"iters"`
+	ApplyNsOp    float64 `json:"apply_plus_query_ns_per_op"`
+	RebuildNsOp  float64 `json:"rebuild_plus_query_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// loadgenReport is the BENCH_6.json document.
+type loadgenReport struct {
+	GeneratedBy string           `json:"generated_by"`
+	Config      map[string]any   `json:"config"`
+	Scenarios   []scenarioReport `json:"scenarios"`
+	Micro       *microReport     `json:"micro,omitempty"`
+	// PostIngestQuerySpeedup is the headline ratio: warm-avail
+	// post-ingest query cost on the rebuild path over the delta path,
+	// from the in-process micro-benchmark.
+	PostIngestQuerySpeedup float64 `json:"post_ingest_query_speedup,omitempty"`
+	// StormQueryP95Ratio compares the /query p95 between the
+	// rebuild-storm and delta scenarios (server-side histograms).
+	StormQueryP95Ratio float64 `json:"storm_query_p95_ratio,omitempty"`
+}
+
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	cfg := loadgenConfig{}
+	fs.StringVar(&cfg.addr, "addr", "", "target server base URL (empty: self-serve a synthetic fleet in-process)")
+	fs.DurationVar(&cfg.duration, "duration", 3*time.Second, "wall-clock length of each workload scenario")
+	fs.IntVar(&cfg.clients, "clients", 4, "closed-loop client goroutines")
+	fs.IntVar(&cfg.serveRCCs, "serve-rccs", 1500, "mean RCCs per served avail in self-serve mode")
+	fs.Int64Var(&cfg.seed, "seed", 1, "random seed (dataset and workload)")
+	fs.IntVar(&cfg.microIters, "micro-iters", 200, "iterations of the apply-vs-rebuild micro-benchmark")
+	fs.StringVar(&cfg.out, "out", "BENCH_6.json", "report output path")
+	parseFlags(fs, args)
+	report, err := loadgen(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLoadgenReport(cfg.out, report); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+}
+
+// loadgen runs the whole harness and assembles the report; split from
+// runLoadgen so tests can call it without flag parsing or log.Fatal.
+func loadgen(cfg loadgenConfig) (*loadgenReport, error) {
+	report := &loadgenReport{
+		GeneratedBy: "domd loadgen",
+		Config: map[string]any{
+			"duration":   cfg.duration.String(),
+			"clients":    cfg.clients,
+			"serve_rccs": cfg.serveRCCs,
+			"seed":       cfg.seed,
+		},
+	}
+
+	if cfg.addr != "" {
+		// External target: one scenario, no toggles, no micro-bench.
+		sc, err := runScenario(cfg.addr, "external", true, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Scenarios = append(report.Scenarios, *sc)
+		emitBench(report)
+		return report, nil
+	}
+
+	pipe, ext, err := fastPipeline(cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train pipeline: %w", err)
+	}
+	serve, err := navsim.Generate(navsim.Config{
+		NumClosed: 4, NumOngoing: 3, MeanRCCsPerAvail: float64(cfg.serveRCCs), Seed: cfg.seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: serving fleet: %w", err)
+	}
+	catalog, err := statusq.NewCatalog(serve.Avails, serve.RCCs, index.KindAVL)
+	if err != nil {
+		return nil, err
+	}
+	handler := server.New(pipe, ext, catalog, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("loadgen server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The rebuild storm first (delta path off), then the delta path, with
+	// a warm-up between so each scenario starts from built engines.
+	for _, mode := range []struct {
+		name  string
+		delta bool
+	}{{"rebuild-storm", false}, {"delta", true}} {
+		catalog.SetDeltaApply(mode.delta)
+		sc, err := runScenario(base, mode.name, mode.delta, serve, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Scenarios = append(report.Scenarios, *sc)
+	}
+
+	micro, err := runMicro(serve, cfg)
+	if err != nil {
+		return nil, err
+	}
+	report.Micro = micro
+	report.PostIngestQuerySpeedup = micro.Speedup
+	if len(report.Scenarios) == 2 && report.Scenarios[1].QueryP95ServerMS > 0 {
+		report.StormQueryP95Ratio = report.Scenarios[0].QueryP95ServerMS / report.Scenarios[1].QueryP95ServerMS
+	}
+	emitBench(report)
+	return report, nil
+}
+
+// fastPipeline trains the same small training configuration the serving
+// test suite uses: a baseline GBT with few rounds over a compact closed
+// fleet — quick to train, fully exercises the query path.
+func fastPipeline(seed int64) (*core.Pipeline, *features.Extractor, error) {
+	ds, err := navsim.Generate(navsim.Config{NumClosed: 40, NumOngoing: 3, MeanRCCsPerAvail: 40, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	ext := features.NewExtractor()
+	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.BaselineConfig()
+	cfg.Fusion = fusion.MethodAverage
+	p := gbt.DefaultParams()
+	p.NumRounds = 15
+	p.LearningRate = 0.3
+	cfg.GBTParams = &p
+	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipe, ext, nil
+}
+
+// nextRCCID hands out process-unique ingest ids far above any generated
+// dataset's id space.
+var nextRCCID atomic.Int64
+
+func init() { nextRCCID.Store(9_000_000) }
+
+// fetchOngoing lists the target's ongoing avails via GET /avails, so the
+// workload works identically against self-served and external targets.
+func fetchOngoing(base string) ([]domain.Avail, error) {
+	resp, err := http.Get(base + "/avails")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /avails: status %d", resp.StatusCode)
+	}
+	var rows []struct {
+		ID       int    `json:"id"`
+		Status   string `json:"status"`
+		PlanStart string `json:"plan_start"`
+		PlanEnd   string `json:"plan_end"`
+		ActStart  string `json:"actual_start"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, err
+	}
+	var out []domain.Avail
+	for _, r := range rows {
+		if r.Status != domain.StatusOngoing.String() {
+			continue
+		}
+		ps, err := domain.ParseDay(r.PlanStart)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := domain.ParseDay(r.PlanEnd)
+		if err != nil {
+			return nil, err
+		}
+		as, err := domain.ParseDay(r.ActStart)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, domain.Avail{ID: r.ID, Status: domain.StatusOngoing, PlanStart: ps, PlanEnd: pe, ActStart: as})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: target serves no ongoing avails")
+	}
+	return out, nil
+}
+
+// runScenario drives the closed-loop mixed workload against base for
+// cfg.duration and summarizes client latencies plus /metrics deltas.
+// serve may be nil (external mode); ongoing avails are always discovered
+// over the API.
+func runScenario(base, name string, delta bool, serve *navsim.Dataset, cfg loadgenConfig) (*scenarioReport, error) {
+	ongoing, err := fetchOngoing(base)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up: one query per ongoing avail builds (or rebuilds) engines so
+	// the measured window starts warm.
+	for _, a := range ongoing {
+		if err := doQuery(&http.Client{}, base, &a, 60); err != nil {
+			return nil, fmt.Errorf("loadgen: warm-up query avail %d: %w", a.ID, err)
+		}
+	}
+
+	before, err := scrape(base)
+	if err != nil {
+		return nil, err
+	}
+	lat := &opLatencies{byOp: map[string][]float64{}}
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			client := &http.Client{}
+			for op := 0; time.Now().Before(deadline); op++ {
+				a := ongoing[rng.Intn(len(ongoing))]
+				ts := 20 + rng.Float64()*70
+				var kind string
+				var err error
+				start := time.Now()
+				switch {
+				case op%8 == 7:
+					kind = "ingest"
+					err = doIngest(client, base, &a, rng)
+				case op%32 == 13:
+					kind = "fleet"
+					err = doFleet(client, base, &a)
+				default:
+					kind = "query"
+					err = doQuery(client, base, &a, ts)
+				}
+				if err != nil {
+					lat.fail()
+					continue
+				}
+				lat.add(kind, float64(time.Since(start).Microseconds())/1000)
+			}
+		}(c)
+	}
+	wg.Wait()
+	after, err := scrape(base)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := &scenarioReport{
+		Name:       name,
+		DeltaApply: delta,
+		Errors:     lat.errors,
+		Ops:        map[string]opReport{},
+		Metrics: map[string]float64{
+			"engine_builds":    after["domd_engine_builds_total"] - before["domd_engine_builds_total"],
+			"delta_applies":    after["domd_engine_delta_applies_total"] - before["domd_engine_delta_applies_total"],
+			"delta_fallbacks":  sumSeries(after, "domd_engine_delta_fallbacks_total{") - sumSeries(before, "domd_engine_delta_fallbacks_total{"),
+			"requests":         sumSeries(after, "domd_http_requests_total{") - sumSeries(before, "domd_http_requests_total{"),
+			"stale_serves":     after["domd_engine_stale_serves_total"] - before["domd_engine_stale_serves_total"],
+			"engine_cache_hits": after["domd_engine_cache_hits_total"] - before["domd_engine_cache_hits_total"],
+		},
+		QueryP95ServerMS: histPercentile(before, after, "domd_http_request_duration_seconds", "/query", 0.95) * 1000,
+	}
+	for op, samples := range lat.byOp {
+		sc.Ops[op] = summarize(samples)
+	}
+	return sc, nil
+}
+
+func doQuery(client *http.Client, base string, a *domain.Avail, ts float64) error {
+	url := fmt.Sprintf("%s/query?avail=%d&date=%s", base, a.ID, a.PhysicalTime(ts))
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp, http.StatusOK)
+}
+
+func doFleet(client *http.Client, base string, a *domain.Avail) error {
+	url := fmt.Sprintf("%s/fleet?date=%s", base, a.PhysicalTime(60))
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp, http.StatusOK)
+}
+
+func doIngest(client *http.Client, base string, a *domain.Avail, rng *rand.Rand) error {
+	id := nextRCCID.Add(1)
+	created := a.PhysicalTime(20 + rng.Float64()*40)
+	settled := a.PhysicalTime(65 + rng.Float64()*30)
+	body := fmt.Sprintf(
+		`{"id":%d,"avail_id":%d,"type":"G","swlin":"434-11-00%d","created":%q,"settled":%q,"amount":%d.5}`,
+		id, a.ID, 1+rng.Intn(9), created.String(), settled.String(), 100+rng.Intn(5000))
+	resp, err := client.Post(base+"/rccs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return drain(resp, http.StatusCreated)
+}
+
+// drain consumes and closes the response body (keep-alive reuse) and
+// checks the status.
+func drain(resp *http.Response, want int) error {
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		if cerr := resp.Body.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("status %d, want %d", resp.StatusCode, want)
+	}
+	return nil
+}
+
+// scrape fetches and parses /metrics.
+func scrape(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// sumSeries sums every series of a labeled metric family (keys carry
+// rendered labels, e.g. `name{reason="nocache"}`).
+func sumSeries(m map[string]float64, prefix string) float64 {
+	var sum float64
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// histPercentile estimates a percentile from the before/after delta of a
+// cumulative histogram's buckets for one route label.
+func histPercentile(before, after map[string]float64, family, route string, q float64) float64 {
+	prefix := fmt.Sprintf(`%s_bucket{route=%q,le="`, family, route)
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	for k, v := range after {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`)
+		le, err := parseLe(leStr)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: le, count: v - before[k]})
+	}
+	if len(buckets) == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].count
+	if total <= 0 {
+		return 0
+	}
+	target := q * total
+	for _, b := range buckets {
+		if b.count >= target {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// summarize computes the percentile summary of one op class.
+func summarize(samples []float64) opReport {
+	if len(samples) == 0 {
+		return opReport{}
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return opReport{
+		Count:  len(samples),
+		MeanMS: sum / float64(len(samples)),
+		P50MS:  percentileOf(samples, 0.50),
+		P95MS:  percentileOf(samples, 0.95),
+		P99MS:  percentileOf(samples, 0.99),
+	}
+}
+
+// percentileOf reads the q-th percentile from an ascending-sorted slice.
+func percentileOf(sorted []float64, q float64) float64 {
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runMicro measures, in process, the two ways to absorb one ingest and
+// answer the next warm query: Engine.ApplyRCC + Eval versus NewEngine
+// over the extended history + Eval — the same comparison as the
+// BenchmarkApplyRCC / BenchmarkRebuildAfterIngest pair, but reported into
+// BENCH_6.json by an operator-runnable command.
+func runMicro(serve *navsim.Dataset, cfg loadgenConfig) (*microReport, error) {
+	byAvail := serve.RCCsByAvail()
+	var target *domain.Avail
+	for i := range serve.Avails {
+		a := &serve.Avails[i]
+		if a.Status != domain.StatusOngoing {
+			continue
+		}
+		if target == nil || len(byAvail[a.ID]) > len(byAvail[target.ID]) {
+			target = a
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("loadgen: no ongoing avail to micro-benchmark")
+	}
+	base := byAvail[target.ID]
+	rng := rand.New(rand.NewSource(cfg.seed + 17))
+	q := statusq.Query{Status: domain.Active, Agg: statusq.SumAmount}
+	newRCC := func(id int) domain.RCC {
+		return domain.RCC{
+			ID: id, AvailID: target.ID, Type: domain.Growth,
+			SWLIN:   43411001 + rng.Intn(9),
+			Created: target.ActStart + domain.Day(rng.Intn(int(target.PlannedDuration()))),
+			Settled: target.ActStart + domain.Day(int(target.PlannedDuration())+rng.Intn(100)),
+			Amount:  float64(100 + rng.Intn(5000)),
+		}
+	}
+
+	eng, err := statusq.NewEngine(target, base, index.KindAVL)
+	if err != nil {
+		return nil, err
+	}
+	applyStart := time.Now()
+	for i := 0; i < cfg.microIters; i++ {
+		if err := eng.ApplyRCC(newRCC(8_000_000 + i)); err != nil {
+			return nil, err
+		}
+		if _, err := eng.Eval(60, q); err != nil {
+			return nil, err
+		}
+	}
+	applyNs := float64(time.Since(applyStart).Nanoseconds()) / float64(cfg.microIters)
+
+	history := append([]domain.RCC(nil), base...)
+	rebuildStart := time.Now()
+	for i := 0; i < cfg.microIters; i++ {
+		history = append(history, newRCC(8_500_000+i))
+		reng, err := statusq.NewEngine(target, history, index.KindAVL)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reng.Eval(60, q); err != nil {
+			return nil, err
+		}
+	}
+	rebuildNs := float64(time.Since(rebuildStart).Nanoseconds()) / float64(cfg.microIters)
+
+	return &microReport{
+		RCCsPerAvail: len(base),
+		Iters:        cfg.microIters,
+		ApplyNsOp:    applyNs,
+		RebuildNsOp:  rebuildNs,
+		Speedup:      rebuildNs / applyNs,
+	}, nil
+}
+
+// emitBench prints the headline numbers as "BENCH <name> <value>" lines.
+func emitBench(r *loadgenReport) {
+	for _, sc := range r.Scenarios {
+		for op, s := range sc.Ops {
+			fmt.Printf("BENCH loadgen/%s/%s_p95_ms %.3f\n", sc.Name, op, s.P95MS)
+		}
+		fmt.Printf("BENCH loadgen/%s/engine_builds %.0f\n", sc.Name, sc.Metrics["engine_builds"])
+		fmt.Printf("BENCH loadgen/%s/delta_applies %.0f\n", sc.Name, sc.Metrics["delta_applies"])
+		fmt.Printf("BENCH loadgen/%s/query_p95_server_ms %.3f\n", sc.Name, sc.QueryP95ServerMS)
+	}
+	if r.Micro != nil {
+		fmt.Printf("BENCH micro/apply_plus_query_ns %.0f\n", r.Micro.ApplyNsOp)
+		fmt.Printf("BENCH micro/rebuild_plus_query_ns %.0f\n", r.Micro.RebuildNsOp)
+		fmt.Printf("BENCH micro/post_ingest_query_speedup %.1f\n", r.Micro.Speedup)
+	}
+	if r.StormQueryP95Ratio > 0 {
+		fmt.Printf("BENCH loadgen/storm_query_p95_ratio %.2f\n", r.StormQueryP95Ratio)
+	}
+}
+
+// writeLoadgenReport writes the JSON document.
+func writeLoadgenReport(path string, r *loadgenReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return f.Close()
+}

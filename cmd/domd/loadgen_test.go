@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSmoke runs the whole self-serve harness at tiny settings:
+// the report must materialize, parse, cover both scenarios, and show the
+// delta ingest path beating the rebuild path on the micro-benchmark.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline and serves load")
+	}
+	cfg := loadgenConfig{
+		duration:   300 * time.Millisecond,
+		clients:    2,
+		serveRCCs:  120,
+		seed:       7,
+		microIters: 10,
+	}
+	report, err := loadgen(cfg)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeLoadgenReport(out, report); err != nil {
+		t.Fatalf("writeLoadgenReport: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var parsed loadgenReport
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+
+	if len(parsed.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2 (rebuild-storm, delta)", len(parsed.Scenarios))
+	}
+	storm, delta := parsed.Scenarios[0], parsed.Scenarios[1]
+	if storm.Name != "rebuild-storm" || storm.DeltaApply {
+		t.Errorf("scenario 0 = %q delta=%v, want rebuild-storm/false", storm.Name, storm.DeltaApply)
+	}
+	if delta.Name != "delta" || !delta.DeltaApply {
+		t.Errorf("scenario 1 = %q delta=%v, want delta/true", delta.Name, delta.DeltaApply)
+	}
+	for _, sc := range parsed.Scenarios {
+		if sc.Errors != 0 {
+			t.Errorf("scenario %s: %d client errors", sc.Name, sc.Errors)
+		}
+		if sc.Ops["query"].Count == 0 {
+			t.Errorf("scenario %s: no query samples", sc.Name)
+		}
+	}
+	// The storm scenario must rebuild on ingest; the delta scenario must
+	// delta-apply instead.
+	if storm.Metrics["delta_applies"] != 0 {
+		t.Errorf("rebuild-storm delta_applies = %v, want 0", storm.Metrics["delta_applies"])
+	}
+	if delta.Ops["ingest"].Count > 0 && delta.Metrics["delta_applies"] == 0 {
+		t.Errorf("delta scenario ingested %d but delta_applies = 0", delta.Ops["ingest"].Count)
+	}
+
+	if parsed.Micro == nil {
+		t.Fatal("micro benchmark missing from report")
+	}
+	if parsed.Micro.Speedup <= 1 {
+		t.Errorf("post-ingest query speedup = %.2f, want > 1", parsed.Micro.Speedup)
+	}
+	if parsed.PostIngestQuerySpeedup != parsed.Micro.Speedup {
+		t.Errorf("headline speedup %v != micro speedup %v",
+			parsed.PostIngestQuerySpeedup, parsed.Micro.Speedup)
+	}
+}

@@ -59,6 +59,8 @@ func main() {
 		runImportances(args)
 	case "drift":
 		runDrift(args)
+	case "loadgen":
+		runLoadgen(args)
 	default:
 		usage()
 	}
@@ -72,7 +74,8 @@ func usage() {
   serve    train (or -load) a pipeline and serve the SMDII JSON API
   backtest walk-forward (rolling-origin) evaluation across history
   importances train (or -load) a pipeline and print the global delay drivers
-  drift    compare live feature distributions against a reference fleet`)
+  drift    compare live feature distributions against a reference fleet
+  loadgen  drive a mixed query/ingest workload and write latency+ingest-cost benchmarks`)
 	os.Exit(2)
 }
 

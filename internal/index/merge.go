@@ -1,0 +1,25 @@
+package index
+
+// mergeTail merges the already-sorted tail s[n:] into the already-sorted
+// prefix s[:n] in place, stably (prefix elements order before equal tail
+// elements), using one O(len(s)-n) scratch buffer. This is the second half
+// of the append-and-merge lazy re-sort shared by NaiveIndex and
+// SortedIndex: after a batch of k appends, the deferred re-sort costs
+// O(k log k + n) instead of the O(n log n) full sort.
+func mergeTail[T any](s []T, n int, cmp func(a, b T) int) {
+	if n == 0 || n == len(s) {
+		return
+	}
+	tail := append([]T(nil), s[n:]...)
+	i, j, k := n-1, len(tail)-1, len(s)-1
+	for j >= 0 {
+		if i >= 0 && cmp(s[i], tail[j]) > 0 {
+			s[k] = s[i]
+			i--
+		} else {
+			s[k] = tail[j]
+			j--
+		}
+		k--
+	}
+}

@@ -29,8 +29,12 @@ type joinedRow struct {
 // access.
 type NaiveIndex struct {
 	joined []joinedRow
-	sorted atomic.Bool
-	sortMu sync.Mutex
+	// nSorted is the length of the sorted prefix of joined: appends land
+	// after it, so the deferred re-sort only sorts the tail and merges it
+	// back (O(k log k + n) for k appends instead of O(n log n)).
+	nSorted int
+	sorted  atomic.Bool
+	sortMu  sync.Mutex
 }
 
 // NewNaive returns an empty naive index.
@@ -61,11 +65,16 @@ func (x *NaiveIndex) Insert(iv Interval) error {
 	return nil
 }
 
-// Delete implements TimeIndex (linear scan).
+// Delete implements TimeIndex (linear scan). Removing a row from the
+// sorted prefix keeps the remaining prefix sorted, so only its length
+// shrinks; a removal from the unsorted tail leaves the prefix untouched.
 func (x *NaiveIndex) Delete(iv Interval) bool {
 	for i := range x.joined {
 		if x.joined[i].iv == iv {
 			x.joined = append(x.joined[:i], x.joined[i+1:]...)
+			if i < x.nSorted {
+				x.nSorted--
+			}
 			return true
 		}
 	}
@@ -75,11 +84,23 @@ func (x *NaiveIndex) Delete(iv Interval) bool {
 // Len implements TimeIndex.
 func (x *NaiveIndex) Len() int { return len(x.joined) }
 
+func rowCmp(a, b joinedRow) int {
+	if ivLess(a.iv, b.iv) {
+		return -1
+	}
+	if ivLess(b.iv, a.iv) {
+		return 1
+	}
+	return 0
+}
+
 // ensureSorted performs the deferred re-sort at most once per batch of
 // mutations. Fast path: an atomic load (release-acquire paired with the
 // Store below, so readers that skip the lock still see the sorted rows).
 // Slow path: the first reader after a mutation sorts under sortMu while
-// racing readers block on the same mutex.
+// racing readers block on the same mutex. The re-sort is append-and-merge:
+// only the tail appended since the last sort is sorted, then linearly
+// merged into the sorted prefix.
 func (x *NaiveIndex) ensureSorted() {
 	if x.sorted.Load() {
 		return
@@ -89,15 +110,9 @@ func (x *NaiveIndex) ensureSorted() {
 	if x.sorted.Load() {
 		return
 	}
-	slices.SortFunc(x.joined, func(a, b joinedRow) int {
-		if ivLess(a.iv, b.iv) {
-			return -1
-		}
-		if ivLess(b.iv, a.iv) {
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(x.joined[x.nSorted:], rowCmp)
+	mergeTail(x.joined, x.nSorted, rowCmp)
+	x.nSorted = len(x.joined)
 	x.sorted.Store(true)
 }
 

@@ -19,8 +19,12 @@ type SortedIndex struct {
 	// byStart and byEnd are sorted by their respective key.
 	byStart []avlEntry // key = Start, aux = End
 	byEnd   []avlEntry // key = End, aux = Start
-	sorted  atomic.Bool
-	sortMu  sync.Mutex
+	// nsStart/nsEnd are the sorted-prefix lengths of byStart/byEnd:
+	// appends land after them, so the deferred re-sort only sorts each
+	// tail and merges it back instead of re-sorting the whole array.
+	nsStart, nsEnd int
+	sorted         atomic.Bool
+	sortMu         sync.Mutex
 }
 
 // NewSorted returns an empty sorted-array index.
@@ -45,6 +49,7 @@ func (x *SortedIndex) BulkLoad(ivs []Interval) error {
 		x.byStart[i] = avlEntry{key: iv.Start, aux: iv.End, id: iv.ID}
 		x.byEnd[i] = avlEntry{key: iv.End, aux: iv.Start, id: iv.ID}
 	}
+	x.nsStart, x.nsEnd = 0, 0
 	x.sort()
 	return nil
 }
@@ -60,9 +65,15 @@ func entryCmp(a, b avlEntry) int {
 	}
 }
 
+// sort runs the append-and-merge re-sort: each array's appended tail is
+// sorted, then linearly merged into its sorted prefix.
 func (x *SortedIndex) sort() {
-	slices.SortFunc(x.byStart, entryCmp)
-	slices.SortFunc(x.byEnd, entryCmp)
+	slices.SortFunc(x.byStart[x.nsStart:], entryCmp)
+	mergeTail(x.byStart, x.nsStart, entryCmp)
+	x.nsStart = len(x.byStart)
+	slices.SortFunc(x.byEnd[x.nsEnd:], entryCmp)
+	mergeTail(x.byEnd, x.nsEnd, entryCmp)
+	x.nsEnd = len(x.byEnd)
 	x.sorted.Store(true)
 }
 
@@ -92,13 +103,17 @@ func (x *SortedIndex) Insert(iv Interval) error {
 	return nil
 }
 
-// Delete implements TimeIndex (linear).
+// Delete implements TimeIndex (linear). A removal inside a sorted prefix
+// keeps the remainder sorted, so only that prefix's length shrinks.
 func (x *SortedIndex) Delete(iv Interval) bool {
 	found := false
 	for i := range x.byStart {
 		e := x.byStart[i]
 		if e.key == iv.Start && e.aux == iv.End && e.id == iv.ID {
 			x.byStart = append(x.byStart[:i], x.byStart[i+1:]...)
+			if i < x.nsStart {
+				x.nsStart--
+			}
 			found = true
 			break
 		}
@@ -110,6 +125,9 @@ func (x *SortedIndex) Delete(iv Interval) bool {
 		e := x.byEnd[i]
 		if e.key == iv.End && e.aux == iv.Start && e.id == iv.ID {
 			x.byEnd = append(x.byEnd[:i], x.byEnd[i+1:]...)
+			if i < x.nsEnd {
+				x.nsEnd--
+			}
 			break
 		}
 	}

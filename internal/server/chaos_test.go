@@ -78,6 +78,85 @@ func TestChaosKillMidIngest(t *testing.T) {
 	}
 }
 
+// TestChaosKillMidDeltaApply is the kill-mid-ingest scenario aimed at the
+// O(delta) path: the armed hook panics inside Catalog.AddRCC after the WAL
+// append but before the history append and the in-place engine fold. The
+// panic must unwind without mutating any in-memory state (the warm engine
+// keeps serving fresh answers), and a restart must replay the killed record
+// — no acknowledged loss, at-least-once for the unacknowledged one.
+func TestChaosKillMidDeltaApply(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	srv, ds, dc := newDurableServer(t, dir, Options{})
+	a := ongoingAvail(t, ds)
+	base := len(ds.RCCsByAvail()[a.ID])
+	url := fmt.Sprintf("%s/query?avail=%d&date=%s", srv.URL, a.ID, a.PhysicalTime(60))
+
+	// Warm the engine, then one acknowledged ingest that folds into it in
+	// place: still one build, asOf advanced, answer fresh.
+	var view struct {
+		Stale bool  `json:"stale"`
+		AsOf  int64 `json:"asOf"`
+	}
+	get(t, url, http.StatusOK, &view)
+	if status, _, _ := postJSON(t, srv.URL+"/rccs", rccBody(970001, a), nil); status != http.StatusCreated {
+		t.Fatalf("warm ingest = %d, want 201", status)
+	}
+	if n := dc.Catalog.DeltaApplies(); n != 1 {
+		t.Fatalf("warm ingest did not delta-apply: applies = %d, want 1", n)
+	}
+	get(t, url, http.StatusOK, &view)
+	if view.Stale || view.AsOf != int64(base+1) {
+		t.Fatalf("post-ingest answer stale=%v asOf=%d, want false/%d", view.Stale, view.AsOf, base+1)
+	}
+	if n := dc.Catalog.EngineBuilds(); n != 1 {
+		t.Fatalf("delta-applied ingest triggered a rebuild: builds = %d, want 1", n)
+	}
+
+	// The kill: durable on the log, never applied, never acknowledged.
+	faultinject.Arm(statusq.FailDeltaApply, func() error { panic("chaos: kill -9 mid delta apply") })
+	status, _, _ := postJSON(t, srv.URL+"/rccs", rccBody(970002, a), nil)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("killed ingest = %d, want 500", status)
+	}
+	faultinject.Reset()
+
+	// The panic unwound before any in-memory mutation: the killed record is
+	// invisible and the same warm engine keeps answering fresh.
+	get(t, srv.URL+"/healthz", http.StatusOK, nil)
+	if n := dc.IngestedCount(); n != 1 {
+		t.Fatalf("unacknowledged RCC became visible: count = %d, want 1", n)
+	}
+	get(t, url, http.StatusOK, &view)
+	if view.Stale || view.AsOf != int64(base+1) {
+		t.Fatalf("post-kill answer stale=%v asOf=%d, want false/%d", view.Stale, view.AsOf, base+1)
+	}
+
+	// Restart: the acked record and the killed one both reached the log, so
+	// replay restores both (at-least-once; nothing acknowledged missing).
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pipe, ext := trainTestPipeline()
+	dc2, info, err := statusq.OpenDurable(dir, ds.Avails, ds.RCCs, index.KindAVL,
+		statusq.DurableOptions{WAL: wal.Options{Policy: wal.SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc2.Close()
+	if info.Restored < 2 {
+		t.Fatalf("restored %d records, want >= 2 (info %+v)", info.Restored, info)
+	}
+	srv2 := httptest.NewServer(New(pipe, ext, dc2.Catalog, Options{Ingester: dc2}))
+	defer srv2.Close()
+	for _, id := range []int{970001, 970002} {
+		status, _, out := postJSON(t, srv2.URL+"/rccs", rccBody(id, a), nil)
+		if status != http.StatusOK || out["duplicate"] != true {
+			t.Fatalf("retry of rcc %d = %d %v, want 200 duplicate", id, status, out)
+		}
+	}
+}
+
 // TestChaosDiskFaultSheds: an injected WAL write error answers 503 with
 // Retry-After, acknowledges nothing, and leaves the process serving; the
 // retry after the fault clears succeeds as a fresh (non-duplicate) ingest.
@@ -129,8 +208,10 @@ func TestChaosEngineBuildFaultServesStale(t *testing.T) {
 		t.Fatalf("baseline stale=%v asOf=%d, want false/%d", view.Stale, view.AsOf, base)
 	}
 
-	// Ingest invalidates the cached engine; the injected fault makes the
-	// rebuild fail on the next query.
+	// The armed delta failpoint forces the ingest down the invalidation
+	// path (instead of folding into the live engine in place); the second
+	// fault then makes the rebuild fail on the next query.
+	faultinject.EnableTimes(statusq.FailDeltaApply, errors.New("chaos: force rebuild path"), 1)
 	status, _, _ := postJSON(t, srv.URL+"/rccs", rccBody(950001, a), nil)
 	if status != http.StatusCreated {
 		t.Fatalf("ingest = %d", status)

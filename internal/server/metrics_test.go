@@ -91,9 +91,14 @@ func TestMetricsEndToEnd(t *testing.T) {
 		t.Fatalf("second ingest = %d, want 201", status)
 	}
 
-	// The ingests invalidated the cached engine; the injected fault makes
-	// the rebuild fail, so this query is served stale from the last good
-	// engine (still 200).
+	// A third ingest forced down the invalidation path (the armed delta
+	// failpoint suppresses the in-place apply); the injected build fault
+	// then makes the rebuild fail, so this query is served stale from the
+	// last good engine (still 200).
+	faultinject.EnableTimes(statusq.FailDeltaApply, errors.New("chaos: force rebuild path"), 1)
+	if status, _, _ := postJSON(t, srv.URL+"/rccs", rccBody(950110, a), nil); status != http.StatusCreated {
+		t.Fatalf("third ingest = %d, want 201", status)
+	}
 	faultinject.Enable(statusq.FailEngineBuild, errors.New("chaos: engine build down"))
 	var view struct {
 		Stale bool `json:"stale"`
@@ -194,6 +199,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 		`domd_engine_stale_serves_total`:           1,
 		`domd_engine_cache_hits_total`:             1,
 		`domd_engine_build_duration_seconds_count`: 2,
+
+		// The first two ingests folded into the live cached engine in
+		// place; the third was forced down the invalidation path by the
+		// armed delta failpoint.
+		`domd_engine_delta_applies_total`:                       2,
+		`domd_engine_delta_fallbacks_total{reason="failpoint"}`: 1,
 
 		// Ingestion: two acks, one duplicate, one failure (the injected
 		// mid-apply panic after the record was already on the log).

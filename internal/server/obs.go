@@ -27,6 +27,7 @@ func Endpoints() []Endpoint {
 		{"GET", "/avails", "", "list every avail: id, ship, status, planned/actual dates, realized delay"},
 		{"GET", "/query", "avail=ID&date=YYYY-MM-DD", "DoMD estimate for one avail, with stale/asOf degraded-answer markers"},
 		{"GET", "/fleet", "date=YYYY-MM-DD", "DoMD estimates for every ongoing avail, bounded-parallel, per-avail error isolation"},
+		{"POST", "/query/batch", "", "many DoMD queries in one JSON body; one engine lookup per distinct avail, bounded-parallel, per-row error isolation"},
 		{"POST", "/rccs", "", "ingest one RCC JSON body; WAL-backed acknowledgment when serving durably (Idempotency-Key dedups retries)"},
 		{"GET", "/metrics", "", "Prometheus text-format metrics; the full catalog is docs/OPERATIONS.md (bypasses load shedding)"},
 	}

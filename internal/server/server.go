@@ -9,6 +9,8 @@
 //	GET  /avails                           list avails (id, status, dates)
 //	GET  /query?avail=ID&date=2024-04-12   DoMD query (Problem 1)
 //	GET  /fleet?date=2024-04-12            DoMD for every ongoing avail
+//	POST /query/batch                      many DoMD queries in one request
+//	                                       (one engine lookup per avail)
 //	POST /rccs                             ingest one RCC (contract change)
 //	GET  /metrics                          Prometheus text-format metrics
 //
@@ -190,13 +192,14 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, op
 	// handler (or vice versa) fails the first constructed server, which
 	// every test exercises.
 	handlers := map[string]http.HandlerFunc{
-		"GET /healthz": s.handleHealth,
-		"GET /readyz":  s.handleReady,
-		"GET /avails":  s.handleAvails,
-		"GET /query":   s.handleQuery,
-		"GET /fleet":   s.handleFleet,
-		"POST /rccs":   s.handleIngest,
-		"GET /metrics": obs.Handler().ServeHTTP,
+		"GET /healthz":      s.handleHealth,
+		"GET /readyz":       s.handleReady,
+		"GET /avails":       s.handleAvails,
+		"GET /query":        s.handleQuery,
+		"GET /fleet":        s.handleFleet,
+		"POST /query/batch": s.handleQueryBatch,
+		"POST /rccs":        s.handleIngest,
+		"GET /metrics":      obs.Handler().ServeHTTP,
 	}
 	for _, e := range Endpoints() {
 		pattern := e.Method + " " + e.Path
@@ -462,6 +465,14 @@ func (s *Server) queryOne(ctx context.Context, id int, at domain.Day) (*queryVie
 	if err != nil {
 		return nil, err
 	}
+	return s.renderQuery(eng, asOf, stale, at)
+}
+
+// renderQuery evaluates one DoMD query against an already-resolved engine
+// and shapes the response view. Split out of queryOne so /query/batch can
+// resolve each engine once per avail and reuse it across every query that
+// targets it.
+func (s *Server) renderQuery(eng *statusq.Engine, asOf int64, stale bool, at domain.Day) (*queryView, error) {
 	res, err := s.svc.QueryEngine(eng, at)
 	if err != nil {
 		return nil, err
@@ -559,6 +570,131 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		sp.SetInt("rows", int64(len(rows)))
+		sp.SetInt("staleRows", int64(stale))
+		sp.SetInt("failedRows", int64(failed))
+	}
+	s.writeJSON(w, r, http.StatusOK, rows)
+}
+
+// MaxBatchQueries caps one POST /query/batch request; beyond it the batch
+// is rejected with 422 rather than silently truncated.
+const MaxBatchQueries = 256
+
+// batchIn is the POST /query/batch request body.
+type batchIn struct {
+	Queries []batchQueryIn `json:"queries"`
+}
+
+// batchQueryIn is one requested (avail, date) evaluation.
+type batchQueryIn struct {
+	Avail int    `json:"avail"`
+	Date  string `json:"date"`
+}
+
+// batchRow is one /query/batch result, in request order; failed queries
+// carry an error message so one bad entry doesn't fail the batch (the same
+// isolation contract as /fleet rows).
+type batchRow struct {
+	AvailID int        `json:"avail_id"`
+	Result  *queryView `json:"result,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// handleQueryBatch answers many DoMD queries in one request. The point is
+// amortization on warm paths: the catalog engine lookup (and any rebuild it
+// triggers) happens once per distinct avail in the batch, and the
+// evaluations then fan out with the same bounded parallelism and per-row
+// error isolation as /fleet. Status contract: 400 malformed body or empty
+// batch, 413 oversized body, 422 more than MaxBatchQueries entries, 200
+// otherwise with per-row errors inline.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var in batchIn
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
+		return
+	}
+	if len(in.Queries) == 0 {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("empty batch: provide at least one query"))
+		return
+	}
+	if len(in.Queries) > MaxBatchQueries {
+		s.writeErr(w, r, http.StatusUnprocessableEntity,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(in.Queries), MaxBatchQueries))
+		return
+	}
+
+	// Resolve each distinct avail's engine exactly once. Resolution is
+	// sequential on purpose: builds are single-flight per avail anyway, and
+	// a warm batch resolves from cache without ever blocking.
+	type resolved struct {
+		eng   *statusq.Engine
+		asOf  int64
+		stale bool
+		err   error
+	}
+	engines := make(map[int]*resolved)
+	for _, q := range in.Queries {
+		if _, ok := engines[q.Avail]; ok {
+			continue
+		}
+		res := &resolved{}
+		res.eng, res.asOf, res.stale, res.err = s.catalog.EngineAsOf(q.Avail)
+		engines[q.Avail] = res
+	}
+
+	rows := make([]batchRow, len(in.Queries))
+	sem := make(chan struct{}, s.fleetPar)
+	var wg sync.WaitGroup
+	for i, q := range in.Queries {
+		rows[i].AvailID = q.Avail
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := r.Context().Err(); err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			at, err := domain.ParseDay(q.Date)
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			res := engines[q.Avail]
+			if res.err != nil {
+				rows[i].Error = res.err.Error()
+				return
+			}
+			view, err := s.renderQuery(res.eng, res.asOf, res.stale, at)
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].Result = view
+		}()
+	}
+	wg.Wait()
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		stale, failed := 0, 0
+		for i := range rows {
+			if rows[i].Error != "" {
+				failed++
+			} else if rows[i].Result != nil && rows[i].Result.Stale {
+				stale++
+			}
+		}
+		sp.SetInt("rows", int64(len(rows)))
+		sp.SetInt("avails", int64(len(engines)))
 		sp.SetInt("staleRows", int64(stale))
 		sp.SetInt("failedRows", int64(failed))
 	}

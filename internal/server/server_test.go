@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"domd/internal/core"
+	"domd/internal/domain"
 	"domd/internal/features"
 	"domd/internal/fusion"
 	"domd/internal/index"
@@ -327,6 +328,126 @@ func TestRouteStatusCodes(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("POST %s = %d, want 405", route, resp.StatusCode)
 		}
+	}
+
+	// POST /query/batch status grid: 405 on GET, 400 malformed/empty, 422
+	// oversized batch, 200 otherwise (row errors are carried inline).
+	resp, err := http.Get(srv.URL + "/query/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query/batch = %d, want 405", resp.StatusCode)
+	}
+	batchCases := []struct {
+		name, body string
+		want       int
+	}{
+		{"batch malformed", `{"queries":`, http.StatusBadRequest},
+		{"batch unknown field", `{"quarries":[]}`, http.StatusBadRequest},
+		{"batch empty", `{"queries":[]}`, http.StatusBadRequest},
+		{"batch too many", batchBody(a, MaxBatchQueries+1), http.StatusUnprocessableEntity},
+		{"batch ok", batchBody(a, 3), http.StatusOK},
+	}
+	for _, tc := range batchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/query/batch", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("POST /query/batch %s = %d, want %d", tc.name, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// batchBody builds a /query/batch payload with n copies of one valid query.
+func batchBody(a domain.Avail, n int) string {
+	q := fmt.Sprintf(`{"avail":%d,"date":%q}`, a.ID, a.PhysicalTime(50).String())
+	items := make([]string, n)
+	for i := range items {
+		items[i] = q
+	}
+	return `{"queries":[` + strings.Join(items, ",") + `]}`
+}
+
+// TestQueryBatch pins the batch contract: answers arrive in request order
+// and bitwise-match the single-query endpoint, the engine lookup is
+// amortized to one build per distinct avail, and a bad row (unknown avail,
+// bad date, pre-start date) fails alone without failing the batch.
+func TestQueryBatch(t *testing.T) {
+	srv, ds, catalog := newTestServer(t)
+	a, b := ds.Avails[0], ds.Avails[1]
+
+	var single queryView
+	get(t, fmt.Sprintf("%s/query?avail=%d&date=%s", srv.URL, a.ID, a.PhysicalTime(50)), http.StatusOK, &single)
+	builds := catalog.EngineBuilds()
+
+	body := fmt.Sprintf(`{"queries":[
+		{"avail":%d,"date":%q},
+		{"avail":%d,"date":%q},
+		{"avail":999999,"date":%q},
+		{"avail":%d,"date":"garbage"},
+		{"avail":%d,"date":%q},
+		{"avail":%d,"date":%q}
+	]}`,
+		a.ID, a.PhysicalTime(50).String(),
+		b.ID, b.PhysicalTime(50).String(),
+		a.PhysicalTime(50).String(),
+		a.ID,
+		a.ID, a.PhysicalTime(70).String(),
+		a.ID, (a.ActStart - 100).String())
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/query/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query/batch = %d, want 200", resp.StatusCode)
+	}
+	var rows []struct {
+		AvailID int        `json:"avail_id"`
+		Result  *queryView `json:"result"`
+		Error   string     `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("batch returned %d rows, want 6", len(rows))
+	}
+	// Row 0 matches the single-query endpoint exactly.
+	if rows[0].Error != "" || rows[0].Result == nil {
+		t.Fatalf("row 0 failed: %+v", rows[0])
+	}
+	if rows[0].Result.FinalDays != single.FinalDays || rows[0].Result.AsOf != single.AsOf {
+		t.Errorf("batch row 0 = (%v, asOf %d), single query = (%v, asOf %d)",
+			rows[0].Result.FinalDays, rows[0].Result.AsOf, single.FinalDays, single.AsOf)
+	}
+	// Rows 1 and 4 succeed; rows 2, 3, and 5 fail alone.
+	for _, i := range []int{1, 4} {
+		if rows[i].Error != "" || rows[i].Result == nil {
+			t.Errorf("row %d failed: %+v", i, rows[i])
+		}
+	}
+	for _, i := range []int{2, 3, 5} {
+		if rows[i].Error == "" || rows[i].Result != nil {
+			t.Errorf("row %d did not fail: %+v", i, rows[i])
+		}
+	}
+	// Amortization: three queries against avail a resolved its cached
+	// engine once; only avail b cost a build.
+	if got := catalog.EngineBuilds(); got != builds+1 {
+		t.Errorf("batch performed %d engine builds, want 1 (avail %d only)", got-builds, b.ID)
 	}
 }
 

@@ -1,0 +1,83 @@
+package statusq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"domd/internal/domain"
+	"domd/internal/index"
+)
+
+// The ingest benchmarks compare the two ways a serving process can absorb a
+// freshly ingested RCC and then answer a warm-avail query: folding it into
+// the live engine in O(delta) (Engine.ApplyRCC, the incremental path
+// Catalog.AddRCC takes by default) versus rebuilding the engine over the
+// extended history (the pre-incremental invalidate-and-rebuild design).
+// Sizes start at the README scalability fixture's ≥1k RCCs per avail, where
+// the rebuild cost dominates post-ingest query latency.
+
+// benchIngestFixture builds one ongoing avail with n RCCs drawn by the same
+// generator the differential suite uses.
+func benchIngestFixture(n int) (*domain.Avail, []domain.RCC, *rand.Rand) {
+	a := &domain.Avail{ID: 1, ShipID: 1, Status: domain.StatusOngoing, PlanStart: 0, PlanEnd: 400, ActStart: 0}
+	rng := rand.New(rand.NewSource(41))
+	rccs := make([]domain.RCC, 0, n)
+	for i := 0; i < n; i++ {
+		rccs = append(rccs, randRCC(rng, a, i))
+	}
+	return a, rccs, rng
+}
+
+// benchQuery is a fixed mid-avail Status Query evaluated after every ingest,
+// so both benchmarks time the identical "ingest one RCC, answer one warm
+// query" unit of work.
+var benchQuery = Query{Status: domain.Active, Agg: SumAmount}
+
+// BenchmarkApplyRCC times the incremental path: one Engine.ApplyRCC fold
+// plus one query against the still-warm engine.
+func BenchmarkApplyRCC(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a, rccs, rng := benchIngestFixture(n)
+			eng, err := NewEngine(a, rccs, index.KindAVL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.ApplyRCC(randRCC(rng, a, n+i)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Eval(60, benchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebuildAfterIngest times the fallback path the incremental
+// design replaces: append to the history, rebuild the engine from scratch,
+// answer the same query.
+func BenchmarkRebuildAfterIngest(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a, rccs, rng := benchIngestFixture(n)
+			history := append([]domain.RCC(nil), rccs...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				history = append(history, randRCC(rng, a, n+i))
+				eng, err := NewEngine(a, history, index.KindAVL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Eval(60, benchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,13 @@ var ErrUnknownAvail = errors.New("unknown avail")
 // RCC history, which is how the chaos suite drives degraded-mode serving.
 const FailEngineBuild = "statusq.engine.build"
 
+// FailDeltaApply is the faultinject site fired just before an ingested RCC
+// would be delta-applied into a live cached engine. Arming it with an error
+// forces the fallback path (invalidate + rebuild on next query), which is
+// how tests pin the pre-incremental behaviour; arming it with a panic
+// models a crash between the durable log append and the in-memory apply.
+const FailDeltaApply = "statusq.engine.deltaapply"
+
 // Catalog manages Status Query engines for a whole avails table — the "A"
 // of Algorithm 1. It owns one Engine per avail (built lazily or eagerly) so
 // fleet-wide services answer repeated DoMD queries without re-indexing RCC
@@ -33,9 +40,13 @@ const FailEngineBuild = "statusq.engine.build"
 // OngoingIDs, Kind) are lock-free. RCC histories and the engine cache are
 // guarded by an RWMutex; engine construction is single-flight per avail, so
 // N concurrent first queries build one engine, not N. AddRCC appends to the
-// history and invalidates the avail's cached engine; queries racing an
-// AddRCC may still be answered from the pre-append snapshot, but any
-// Engine call that starts after AddRCC returns observes the new RCC.
+// history and, when the avail has a live built engine, folds the new RCC
+// into it in O(delta) (Engine.ApplyRCC) instead of invalidating it; only
+// when no engine is cached, a build is in flight or failed, or the delta
+// path is disabled/faulted does it fall back to invalidation and a full
+// rebuild on the next query. Queries racing an AddRCC may still be answered
+// from the pre-append snapshot, but any Engine call that starts after
+// AddRCC returns observes the new RCC.
 //
 // Degraded mode: the catalog remembers the last successfully built engine
 // per avail. When a rebuild fails (bad history, injected fault), EngineAsOf
@@ -45,28 +56,39 @@ type Catalog struct {
 	kind   index.Kind
 	avails map[int]*domain.Avail // immutable after NewCatalog
 
-	mu       sync.RWMutex // guards rccs, engines, and lastGood
+	mu       sync.RWMutex // guards rccs, engines, lastGood, and deltaApply
 	rccs     map[int][]domain.RCC
 	engines  map[int]*engineSlot
 	lastGood map[int]*engineSlot
+	// deltaApply gates the O(delta) ingest path; disabled the catalog
+	// behaves as the pre-incremental invalidate-and-rebuild design
+	// (benchmark and A/B baseline).
+	deltaApply bool
 
-	builds atomic.Int64
+	builds         atomic.Int64
+	deltaApplies   atomic.Int64
+	deltaFallbacks atomic.Int64
 }
 
 // engineSlot is the single-flight construction cell for one avail's engine.
 // The slot snapshots the RCC history at reservation time; sync.Once
 // guarantees exactly one NewEngine call per slot no matter how many
-// goroutines race on the first query. AddRCC replaces the slot wholesale,
+// goroutines race on the first query. A delta-applying AddRCC advances the
+// slot's rev in place; a falling-back AddRCC replaces the slot wholesale,
 // so a stale slot keeps serving its consistent snapshot until dropped.
 type engineSlot struct {
 	once  sync.Once
 	avail *domain.Avail
 	rccs  []domain.RCC
-	// rev is the RCC-history length snapshotted into this slot — the
-	// revision the engine's answers are as-of.
-	rev int64
-	eng *Engine
-	err error
+	// rev is the RCC-history length folded into the slot's engine — the
+	// revision its answers are as-of. It starts at the snapshot length and
+	// advances by one per successful delta apply.
+	rev atomic.Int64
+	// done flips once the single-flight build has finished (either way),
+	// making eng/err safe to read without entering the build.
+	done atomic.Bool
+	eng  *Engine
+	err  error
 }
 
 func (s *engineSlot) build(c *Catalog) {
@@ -74,6 +96,7 @@ func (s *engineSlot) build(c *Catalog) {
 		c.builds.Add(1)
 		mEngineBuilds.Inc()
 		sw := obs.StartTimer()
+		defer s.done.Store(true)
 		if err := faultinject.Fire(FailEngineBuild); err != nil {
 			s.err = fmt.Errorf("statusq: build engine for avail %d: %w", s.avail.ID, err)
 			mEngineBuildFailures.Inc()
@@ -94,11 +117,12 @@ func NewCatalog(avails []domain.Avail, rccs []domain.RCC, kind index.Kind) (*Cat
 		return nil, err
 	}
 	c := &Catalog{
-		kind:     kind,
-		avails:   make(map[int]*domain.Avail, len(avails)),
-		rccs:     make(map[int][]domain.RCC),
-		engines:  make(map[int]*engineSlot),
-		lastGood: make(map[int]*engineSlot),
+		kind:       kind,
+		avails:     make(map[int]*domain.Avail, len(avails)),
+		rccs:       make(map[int][]domain.RCC),
+		engines:    make(map[int]*engineSlot),
+		lastGood:   make(map[int]*engineSlot),
+		deltaApply: true,
 	}
 	for i := range avails {
 		a := &avails[i]
@@ -181,7 +205,8 @@ func (c *Catalog) slotFor(id int) (*engineSlot, error) {
 			// Snapshot the history: AddRCC only ever appends past the
 			// snapshot's length (or reallocates), so the engine's view
 			// stays consistent without holding the lock during the build.
-			slot = &engineSlot{avail: a, rccs: c.rccs[id], rev: int64(len(c.rccs[id]))}
+			slot = &engineSlot{avail: a, rccs: c.rccs[id]}
+			slot.rev.Store(int64(len(c.rccs[id])))
 			c.engines[id] = slot
 		}
 		c.mu.Unlock()
@@ -235,14 +260,15 @@ func (c *Catalog) EngineAsOf(id int) (eng *Engine, asOf int64, stale bool, err e
 	if slot.err != nil {
 		if lg != nil {
 			mStaleServes.Inc()
-			return lg.eng, lg.rev, true, nil
+			return lg.eng, lg.rev.Load(), true, nil
 		}
 		return nil, 0, false, slot.err
 	}
-	if slot.rev < cur {
+	rev := slot.rev.Load()
+	if rev < cur {
 		mStaleServes.Inc()
 	}
-	return slot.eng, slot.rev, slot.rev < cur, nil
+	return slot.eng, rev, rev < cur, nil
 }
 
 // EngineBuilds reports how many engine constructions this catalog has
@@ -262,24 +288,94 @@ func (c *Catalog) Eval(id int, ts float64, q Query) (float64, error) {
 	return e.Eval(ts, q)
 }
 
+// SetDeltaApply toggles the O(delta) ingest path. Disabled, AddRCC always
+// invalidates the cached engine (the pre-incremental design), which is the
+// baseline the loadgen rebuild-storm scenario and the ingest benchmarks
+// measure against. Enabled is the default.
+func (c *Catalog) SetDeltaApply(enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deltaApply = enabled
+}
+
+// DeltaApplies reports how many ingested RCCs this catalog folded into a
+// live engine in O(delta); DeltaFallbacks counts the ingests that
+// invalidated instead. The same increments feed the process-wide
+// domd_engine_delta_* counters on GET /metrics.
+func (c *Catalog) DeltaApplies() int64 { return c.deltaApplies.Load() }
+
+// DeltaFallbacks reports how many AddRCC calls fell back to invalidating
+// the cached engine (no cache, build in flight or failed, delta disabled,
+// or an armed failpoint).
+func (c *Catalog) DeltaFallbacks() int64 { return c.deltaFallbacks.Load() }
+
 // AddRCC appends a newly created RCC (e.g. an approved contract change) to
-// its avail, invalidating the cached engine — the mutation path a deployed
-// SMDII back end needs as RCCs stream in. The next Engine call rebuilds
-// from the extended history; in-flight queries holding the old engine keep
-// their consistent pre-append snapshot.
+// its avail — the mutation path a deployed SMDII back end needs as RCCs
+// stream in. When the avail has a live built engine, the RCC is folded
+// into it in place in O(delta) (Engine.ApplyRCC), so the engine stays warm
+// across ingests and the next query pays no rebuild; the engine's answers
+// are bitwise-identical to a from-scratch rebuild over the extended
+// history. Otherwise the cached engine is invalidated and the next Engine
+// call rebuilds; in-flight queries holding the old engine keep their
+// consistent pre-append snapshot either way.
 func (c *Catalog) AddRCC(r domain.RCC) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.avails[r.AvailID]; !ok {
-		return fmt.Errorf("statusq: rcc %d references %w %d", r.ID, ErrUnknownAvail, r.AvailID)
+	id := r.AvailID
+	if _, ok := c.avails[id]; !ok {
+		return fmt.Errorf("statusq: rcc %d references %w %d", r.ID, ErrUnknownAvail, id)
 	}
-	c.rccs[r.AvailID] = append(c.rccs[r.AvailID], r)
+	// Decide delta eligibility before appending: the slot must hold a
+	// successfully built engine that is exactly up to date with the
+	// history, or folding r would skip (or double-apply) earlier RCCs.
+	slot := c.engines[id]
+	reason := ""
+	switch {
+	case !c.deltaApply:
+		reason = "disabled"
+	case slot == nil:
+		reason = "nocache"
+	case !slot.done.Load():
+		reason = "building"
+	case slot.err != nil:
+		reason = "failed"
+	case slot.rev.Load() != int64(len(c.rccs[id])):
+		reason = "behind"
+	}
+	if reason == "" {
+		// Fired before the append: an armed error forces the fallback, an
+		// armed panic models a crash between the durable log append and
+		// the in-memory apply (the record is replayed on restart).
+		if err := faultinject.Fire(FailDeltaApply); err != nil {
+			reason = "failpoint"
+		}
+	}
+	c.rccs[id] = append(c.rccs[id], r)
+	if reason == "" {
+		if err := slot.eng.ApplyRCC(r); err != nil {
+			// The engine may be partially updated; drop it from both the
+			// cache and the last-good table so it can never serve again.
+			delete(c.engines, id)
+			if c.lastGood[id] == slot {
+				delete(c.lastGood, id)
+			}
+			c.deltaFallbacks.Add(1)
+			mDeltaFallbacks.With("error").Inc()
+			return nil
+		}
+		slot.rev.Add(1)
+		c.deltaApplies.Add(1)
+		mDeltaApplies.Inc()
+		return nil
+	}
 	// Invalidate the cached engine but keep lastGood: if the rebuild over
 	// the extended history fails, EngineAsOf still has a consistent
 	// (pre-append) engine to serve, marked stale.
-	delete(c.engines, r.AvailID)
+	delete(c.engines, id)
+	c.deltaFallbacks.Add(1)
+	mDeltaFallbacks.With(reason).Inc()
 	return nil
 }

@@ -216,10 +216,51 @@ func TestCatalogConcurrentMix(t *testing.T) {
 	_ = ds
 }
 
-// TestCatalogAddRCCInvalidatesEngine pins the read-your-writes guarantee:
-// an Engine call that starts after AddRCC returns sees the new RCC.
-func TestCatalogAddRCCInvalidatesEngine(t *testing.T) {
+// TestCatalogAddRCCDeltaApplies pins the read-your-writes guarantee under
+// the incremental ingest path: an Engine call that starts after AddRCC
+// returns sees the new RCC, and the cached engine was folded in place
+// (same engine, no rebuild) rather than invalidated.
+func TestCatalogAddRCCDeltaApplies(t *testing.T) {
 	c, ds := catalogFixture(t)
+	id := ds.Avails[0].ID
+	e1, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := c.EngineBuilds()
+	a, _ := c.Avail(id)
+	add := domain.RCC{
+		ID: 9_000_000, AvailID: id, Type: domain.Growth, SWLIN: 43411001,
+		Created: a.ActStart + 1, Settled: a.ActStart + 30, Amount: 1,
+	}
+	if err := c.AddRCC(add); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("AddRCC rebuilt the engine instead of delta-applying in place")
+	}
+	if want := len(ds.RCCsByAvail()[id]) + 1; e2.NumRCCs() != want {
+		t.Errorf("engine has %d RCCs, want %d", e2.NumRCCs(), want)
+	}
+	if got := c.DeltaApplies(); got != 1 {
+		t.Errorf("DeltaApplies = %d, want 1", got)
+	}
+	if got := c.EngineBuilds(); got != builds {
+		t.Errorf("EngineBuilds = %d, want %d (no rebuild)", got, builds)
+	}
+}
+
+// TestCatalogAddRCCInvalidatesWithoutDelta pins the fallback: with the
+// delta path disabled (and for any ineligible slot) AddRCC invalidates the
+// cached engine and the next Engine call rebuilds over the extended
+// history — the pre-incremental behaviour.
+func TestCatalogAddRCCInvalidatesWithoutDelta(t *testing.T) {
+	c, ds := catalogFixture(t)
+	c.SetDeltaApply(false)
 	id := ds.Avails[0].ID
 	e1, err := c.Engine(id)
 	if err != nil {
@@ -242,6 +283,9 @@ func TestCatalogAddRCCInvalidatesEngine(t *testing.T) {
 	}
 	if e2.NumRCCs() != e1.NumRCCs()+1 {
 		t.Errorf("rebuilt engine has %d RCCs, want %d", e2.NumRCCs(), e1.NumRCCs()+1)
+	}
+	if got := c.DeltaFallbacks(); got != 1 {
+		t.Errorf("DeltaFallbacks = %d, want 1", got)
 	}
 }
 
@@ -281,12 +325,14 @@ func TestCatalogEngineBuildFaultServesLastGood(t *testing.T) {
 		t.Fatalf("asOf = %d, want history length %d", asOf, good.NumRCCs())
 	}
 
-	// Invalidate the engine, then make every rebuild fail.
+	// Force the ingest down the invalidation path (the armed failpoint
+	// suppresses the in-place delta apply), then make every rebuild fail.
 	a, _ := c.Avail(id)
 	add := domain.RCC{
 		ID: 7_000_000, AvailID: id, Type: domain.Growth, SWLIN: 43411001,
 		Created: a.ActStart + 1, Settled: a.ActStart + 30, Amount: 1,
 	}
+	faultinject.EnableTimes(FailDeltaApply, errors.New("force rebuild path"), 1)
 	if err := c.AddRCC(add); err != nil {
 		t.Fatal(err)
 	}

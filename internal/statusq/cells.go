@@ -156,13 +156,16 @@ func (c *CellStats) AggregateAll(dst []float64, createdTotal int, ts float64) {
 // CellStatsAt computes per-(type × subsystem) cells for one status class at
 // logical time ts in a single pass over the qualifying RCCs.
 func (e *Engine) CellStatsAt(ts float64, status domain.RCCStatus) (map[GroupKey]CellStats, error) {
-	set, err := e.statusSet(ts, status)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v := &e.view
+	set, err := v.statusSet(ts, status)
 	if err != nil {
 		return nil, err
 	}
 	cells := make(map[GroupKey]CellStats)
 	for _, p := range set {
-		r := &e.rccs[p]
+		r := &v.rccs[p]
 		k := GroupKey{Type: r.Type, Subsystem: swlin.Code(r.SWLIN).Subsystem()}
 		c := cells[k]
 		c.add(r.Amount, float64(r.Duration()))
@@ -280,11 +283,14 @@ func sortByDatePos(set []int, date func(r *domain.RCC) domain.Day, rccs []domain
 // follows the canonical event order (date, then position), making the
 // result bitwise-identical to a CellSweep advanced to the same timestamp.
 func (e *Engine) CellGridsAt(ts float64, gs *GridSet) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v := &e.view
 	gs.Reset()
 	created := func(r *domain.RCC) domain.Day { return r.Created }
 	settled := func(r *domain.RCC) domain.Day { return r.Settled }
 	for st := domain.RCCStatus(0); st < domain.NumRCCStatuses; st++ {
-		set, err := e.statusSet(ts, st)
+		set, err := v.statusSet(ts, st)
 		if err != nil {
 			return err
 		}
@@ -292,10 +298,10 @@ func (e *Engine) CellGridsAt(ts float64, gs *GridSet) error {
 		if st == domain.SettledStatus {
 			key = settled
 		}
-		sortByDatePos(set, key, e.rccs)
+		sortByDatePos(set, key, v.rccs)
 		g := gs.Grid(st)
 		for _, p := range set {
-			r := &e.rccs[p]
+			r := &v.rccs[p]
 			cellOf(g, r).add(r.Amount, float64(r.Duration()))
 		}
 		g.finalizeMargins()

@@ -146,6 +146,63 @@ func (s *StatStructure) AdvanceTo(ts float64) error {
 	return nil
 }
 
+// ApplyRCC folds one freshly ingested RCC into the structure in O(delta):
+// its events are spliced into the date-sorted event orders and, when they
+// fall inside the already-swept region, folded immediately — in the exact
+// position a from-scratch structure advanced to the same sweep position
+// would fold them (last, since the new RCC takes the largest position).
+// Returns ErrCannotApply, leaving the structure unchanged, when an event
+// predates ones already applied; the caller must rebuild.
+func (s *StatStructure) ApplyRCC(r domain.RCC) error {
+	if r.AvailID != s.avail.ID {
+		return fmt.Errorf("statusq: rcc %d belongs to avail %d, structure is for %d", r.ID, r.AvailID, s.avail.ID)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	applyCreate := int64(r.Created) <= s.pos
+	applySettle := int64(r.Settled) <= s.pos
+	if applyCreate && s.ci > 0 && r.Created < s.rccs[s.creations[s.ci-1]].Created {
+		return ErrCannotApply
+	}
+	if applySettle && s.si > 0 && r.Settled < s.rccs[s.settlements[s.si-1]].Settled {
+		return ErrCannotApply
+	}
+	// A from-scratch sweep folds r's creation before every settlement of its
+	// group, but an in-place apply can only fold it after the settlements
+	// already applied — a float reordering of ActiveSumAmount. Reject when
+	// the group has applied settlements so success stays bitwise-exact.
+	if applyCreate {
+		if g := s.groups[key(&r)]; g != nil && g.SettledCount > 0 {
+			return ErrCannotApply
+		}
+	}
+	p := len(s.rccs)
+	s.rccs = append(s.rccs, r)
+	s.creations = insertEventSorted(s.creations, p,
+		func(pos int) int64 { return int64(s.rccs[pos].Created) }, int64(r.Created))
+	s.settlements = insertEventSorted(s.settlements, p,
+		func(pos int) int64 { return int64(s.rccs[pos].Settled) }, int64(r.Settled))
+	// Fold in the same creation-then-settlement order AdvanceTo uses, so
+	// the float accumulators see the identical operation sequence.
+	if applyCreate {
+		g := s.group(key(&r))
+		g.ActiveCount++
+		g.ActiveSumAmount += r.Amount
+		s.ci++
+	}
+	if applySettle {
+		g := s.group(key(&r))
+		g.ActiveCount--
+		g.ActiveSumAmount -= r.Amount
+		g.SettledCount++
+		g.SettledSumAmount += r.Amount
+		g.SettledSumDuration += float64(r.Duration())
+		s.si++
+	}
+	return nil
+}
+
 // Group returns a copy of the stats for one cell (zero stats if absent).
 func (s *StatStructure) Group(k GroupKey) GroupStats {
 	if g := s.groups[k]; g != nil {
@@ -157,20 +214,28 @@ func (s *StatStructure) Group(k GroupKey) GroupStats {
 // Totals sums the stats across cells matching the optional type and
 // subsystem filters (nil = all). This evaluates the additive Status Query
 // aggregates (counts, dollar and duration sums) from the incremental state.
+// Cells fold in canonical (type ascending, subsystem ascending) order, not
+// map order, so equal group states always yield bitwise-equal float sums.
 func (s *StatStructure) Totals(typ *domain.RCCType, subsystem *int) GroupStats {
 	var out GroupStats
-	for k, g := range s.groups {
-		if typ != nil && k.Type != *typ {
+	for t := 0; t < domain.NumRCCTypes; t++ {
+		if typ != nil && domain.RCCType(t) != *typ {
 			continue
 		}
-		if subsystem != nil && k.Subsystem != *subsystem {
-			continue
+		for sub := 0; sub < NumSubsystems; sub++ {
+			if subsystem != nil && sub != *subsystem {
+				continue
+			}
+			g := s.groups[GroupKey{Type: domain.RCCType(t), Subsystem: sub}]
+			if g == nil {
+				continue
+			}
+			out.ActiveCount += g.ActiveCount
+			out.SettledCount += g.SettledCount
+			out.ActiveSumAmount += g.ActiveSumAmount
+			out.SettledSumAmount += g.SettledSumAmount
+			out.SettledSumDuration += g.SettledSumDuration
 		}
-		out.ActiveCount += g.ActiveCount
-		out.SettledCount += g.SettledCount
-		out.ActiveSumAmount += g.ActiveSumAmount
-		out.SettledSumAmount += g.SettledSumAmount
-		out.SettledSumDuration += g.SettledSumDuration
 	}
 	return out
 }

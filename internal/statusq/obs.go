@@ -17,6 +17,10 @@ var (
 		"Engine lookups answered from the catalog's cache without building.")
 	mStaleServes = obs.NewCounter("domd_engine_stale_serves_total",
 		"Degraded answers served from a stale engine (failed rebuild or racing ingest).")
+	mDeltaApplies = obs.NewCounter("domd_engine_delta_applies_total",
+		"Ingested RCCs folded into a live cached engine in O(delta) instead of invalidating it.")
+	mDeltaFallbacks = obs.NewCounterVec("domd_engine_delta_fallbacks_total",
+		"Ingests that invalidated the cached engine instead of delta-applying, by reason.", "reason")
 
 	mIngestAcks = obs.NewCounter("domd_ingest_acks_total",
 		"RCC ingests durably logged, applied, and acknowledged.")

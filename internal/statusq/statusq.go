@@ -44,14 +44,23 @@
 package statusq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"domd/internal/domain"
 	"domd/internal/index"
 	"domd/internal/swlin"
 )
+
+// ErrCannotApply reports that an incremental sweep structure cannot fold a
+// new RCC without breaking the canonical (date, position) fold order that
+// makes incremental state bitwise-identical to from-scratch state — e.g. an
+// RCC whose creation or settlement date precedes events the sweep already
+// applied. Callers fall back to a full rebuild.
+var ErrCannotApply = errors.New("statusq: rcc out of order for incremental apply")
 
 // Aggregate names an aggregation function applied to the retrieved RCC set.
 type Aggregate int
@@ -105,7 +114,21 @@ type Query struct {
 }
 
 // Engine answers Status Queries for one avail.
+//
+// Queries are safe for concurrent use; ApplyRCC takes the write side of
+// the same lock, so a catalog can fold freshly ingested RCCs into a live
+// engine while queries are in flight.
 type Engine struct {
+	avail *domain.Avail
+	mu    sync.RWMutex // guards view
+	view  engineView
+}
+
+// engineView is the engine's indexed state: the RCC slice plus the three
+// structures of Algorithm 1. Its methods never lock — Engine's exported
+// entry points take e.mu once and delegate, so helper calls never nest
+// read locks.
+type engineView struct {
 	avail *domain.Avail
 	rccs  []domain.RCC
 	// typeGroups maps RCCType -> member positions (into rccs).
@@ -123,12 +146,13 @@ func NewEngine(a *domain.Avail, rccs []domain.RCC, kind index.Kind) (*Engine, er
 	if a.PlannedDuration() <= 0 {
 		return nil, fmt.Errorf("statusq: avail %d has non-positive planned duration", a.ID)
 	}
-	e := &Engine{avail: a, rccs: rccs, swlinTree: swlin.NewTree()}
+	e := &Engine{avail: a, view: engineView{avail: a, rccs: rccs, swlinTree: swlin.NewTree()}}
 	idx, err := index.New(kind)
 	if err != nil {
 		return nil, err
 	}
-	e.timeIdx = idx
+	v := &e.view
+	v.timeIdx = idx
 	for pos := range rccs {
 		r := &rccs[pos]
 		if r.AvailID != a.ID {
@@ -137,11 +161,11 @@ func NewEngine(a *domain.Avail, rccs []domain.RCC, kind index.Kind) (*Engine, er
 		if err := r.Validate(); err != nil {
 			return nil, err
 		}
-		e.typeGroups[r.Type] = append(e.typeGroups[r.Type], pos)
-		if err := e.swlinTree.Insert(swlin.Code(r.SWLIN), pos); err != nil {
+		v.typeGroups[r.Type] = append(v.typeGroups[r.Type], pos)
+		if err := v.swlinTree.Insert(swlin.Code(r.SWLIN), pos); err != nil {
 			return nil, err
 		}
-		if err := e.timeIdx.Insert(index.Interval{
+		if err := v.timeIdx.Insert(index.Interval{
 			Start: int64(r.Created), End: int64(r.Settled), ID: pos,
 		}); err != nil {
 			return nil, err
@@ -154,19 +178,58 @@ func NewEngine(a *domain.Avail, rccs []domain.RCC, kind index.Kind) (*Engine, er
 func (e *Engine) Avail() *domain.Avail { return e.avail }
 
 // NumRCCs reports the indexed RCC count.
-func (e *Engine) NumRCCs() int { return len(e.rccs) }
+func (e *Engine) NumRCCs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.view.rccs)
+}
+
+// ApplyRCC folds one freshly ingested RCC into the engine's existing
+// state in O(delta): an append into the type group and SWLIN trie (both
+// store members in position order, and the new RCC takes the largest
+// position) and an append into the lazy-sorting time index, whose next
+// deferred re-sort is an O(n) append-and-merge rather than a full sort.
+//
+// The result is bitwise-identical to rebuilding the engine from scratch
+// over the extended RCC slice: every query path folds aggregates in
+// ascending-position order, which appending preserves. Safe to call
+// concurrently with queries. On error the engine may be partially
+// updated and must be discarded by the caller.
+func (e *Engine) ApplyRCC(r domain.RCC) error {
+	if r.AvailID != e.avail.ID {
+		return fmt.Errorf("statusq: rcc %d belongs to avail %d, engine is for %d", r.ID, r.AvailID, e.avail.ID)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := &e.view
+	pos := len(v.rccs)
+	if err := v.swlinTree.Insert(swlin.Code(r.SWLIN), pos); err != nil {
+		return err
+	}
+	if err := v.timeIdx.Insert(index.Interval{
+		Start: int64(r.Created), End: int64(r.Settled), ID: pos,
+	}); err != nil {
+		return err
+	}
+	v.rccs = append(v.rccs, r)
+	v.typeGroups[r.Type] = append(v.typeGroups[r.Type], pos)
+	return nil
+}
 
 // statusSet retrieves the positions in the given temporal class at logical
 // time ts (Eqs. 3–5).
-func (e *Engine) statusSet(ts float64, status domain.RCCStatus) ([]int, error) {
-	day := int64(e.avail.PhysicalTime(ts))
+func (v *engineView) statusSet(ts float64, status domain.RCCStatus) ([]int, error) {
+	day := int64(v.avail.PhysicalTime(ts))
 	switch status {
 	case domain.Active:
-		return e.timeIdx.ActiveAt(day), nil
+		return v.timeIdx.ActiveAt(day), nil
 	case domain.SettledStatus:
-		return e.timeIdx.SettledBy(day), nil
+		return v.timeIdx.SettledBy(day), nil
 	case domain.Created:
-		return e.timeIdx.CreatedBy(day), nil
+		return v.timeIdx.CreatedBy(day), nil
 	default:
 		return nil, fmt.Errorf("statusq: unknown status %v", status)
 	}
@@ -181,7 +244,14 @@ func (e *Engine) statusSet(ts float64, status domain.RCCStatus) ([]int, error) {
 // is sorted once here — so the intersection is a linear merge rather than a
 // hash-set probe followed by an output sort.
 func (e *Engine) Retrieve(ts float64, q Query) ([]int, error) {
-	timeSet, err := e.statusSet(ts, q.Status)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.view.retrieve(ts, q)
+}
+
+// retrieve is Retrieve without the lock; callers hold e.mu (either side).
+func (v *engineView) retrieve(ts float64, q Query) ([]int, error) {
+	timeSet, err := v.statusSet(ts, q.Status)
 	if err != nil {
 		return nil, err
 	}
@@ -197,17 +267,17 @@ func (e *Engine) Retrieve(ts float64, q Query) ([]int, error) {
 	case q.Type == nil && q.SWLINPrefix == nil:
 		return timeSet, nil
 	case q.SWLINPrefix == nil:
-		candidates = e.typeGroups[*q.Type]
+		candidates = v.typeGroups[*q.Type]
 	default:
-		candidates = e.swlinTree.Group(q.SWLINPrefix)
+		candidates = v.swlinTree.Group(q.SWLINPrefix)
 	}
-	return e.intersectMerge(candidates, timeSet, q.Type), nil
+	return v.intersectMerge(candidates, timeSet, q.Type), nil
 }
 
 // intersectMerge intersects two ascending position lists by linear merge,
 // applying the optional type filter (needed when candidates come from the
 // SWLIN trie, which mixes types).
-func (e *Engine) intersectMerge(candidates, timeSet []int, typ *domain.RCCType) []int {
+func (v *engineView) intersectMerge(candidates, timeSet []int, typ *domain.RCCType) []int {
 	var out []int
 	i, j := 0, 0
 	for i < len(candidates) && j < len(timeSet) {
@@ -218,7 +288,7 @@ func (e *Engine) intersectMerge(candidates, timeSet []int, typ *domain.RCCType) 
 			j++
 		default:
 			p := candidates[i]
-			if typ == nil || e.rccs[p].Type == *typ {
+			if typ == nil || v.rccs[p].Type == *typ {
 				out = append(out, p)
 			}
 			i++
@@ -231,7 +301,7 @@ func (e *Engine) intersectMerge(candidates, timeSet []int, typ *domain.RCCType) 
 // intersectMap is the superseded hash-set intersection (membership map plus
 // output sort). It is retained as the reference implementation the merge
 // path is differentially tested against.
-func (e *Engine) intersectMap(candidates, timeSet []int, typ *domain.RCCType) []int {
+func (v *engineView) intersectMap(candidates, timeSet []int, typ *domain.RCCType) []int {
 	member := make(map[int]bool, len(timeSet))
 	for _, p := range timeSet {
 		member[p] = true
@@ -241,7 +311,7 @@ func (e *Engine) intersectMap(candidates, timeSet []int, typ *domain.RCCType) []
 		if !member[p] {
 			continue
 		}
-		if typ != nil && e.rccs[p].Type != *typ {
+		if typ != nil && v.rccs[p].Type != *typ {
 			continue
 		}
 		out = append(out, p)
@@ -255,21 +325,30 @@ func (e *Engine) intersectMap(candidates, timeSet []int, typ *domain.RCCType) []
 // features causal: information from RCCs not yet created never leaks into
 // earlier logical timestamps.
 func (e *Engine) CreatedCount(ts float64) int {
-	day := int64(e.avail.PhysicalTime(ts))
-	return e.timeIdx.CountActiveAt(day) + e.timeIdx.CountSettledBy(day)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.view.createdCount(ts)
+}
+
+// createdCount is CreatedCount without the lock; callers hold e.mu.
+func (v *engineView) createdCount(ts float64) int {
+	day := int64(v.avail.PhysicalTime(ts))
+	return v.timeIdx.CountActiveAt(day) + v.timeIdx.CountSettledBy(day)
 }
 
 // Eval runs the full Status Query: retrieval plus aggregation. Empty result
 // sets evaluate to 0 for every aggregate.
 func (e *Engine) Eval(ts float64, q Query) (float64, error) {
-	set, err := e.Retrieve(ts, q)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	set, err := e.view.retrieve(ts, q)
 	if err != nil {
 		return 0, err
 	}
-	return e.aggregate(ts, q, set), nil
+	return e.view.aggregate(ts, q, set), nil
 }
 
-func (e *Engine) aggregate(ts float64, q Query, set []int) float64 {
+func (v *engineView) aggregate(ts float64, q Query, set []int) float64 {
 	n := float64(len(set))
 	if len(set) == 0 {
 		return 0
@@ -278,7 +357,7 @@ func (e *Engine) aggregate(ts float64, q Query, set []int) float64 {
 	case Count:
 		return n
 	case Pct:
-		created := e.CreatedCount(ts)
+		created := v.createdCount(ts)
 		if created == 0 {
 			return 0
 		}
@@ -293,7 +372,7 @@ func (e *Engine) aggregate(ts float64, q Query, set []int) float64 {
 	var sumD, maxD float64
 	minA = math.Inf(1)
 	for _, p := range set {
-		r := &e.rccs[p]
+		r := &v.rccs[p]
 		sumA += r.Amount
 		sumSqA += r.Amount * r.Amount
 		if r.Amount > maxA {

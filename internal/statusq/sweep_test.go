@@ -206,7 +206,7 @@ func TestRetrieveMergeMatchesMap(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			timeSet, err := eng.statusSet(ts, q.Status)
+			timeSet, err := eng.view.statusSet(ts, q.Status)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -215,11 +215,11 @@ func TestRetrieveMergeMatchesMap(t *testing.T) {
 			case q.Type == nil && q.SWLINPrefix == nil:
 				candidates = timeSet
 			case q.SWLINPrefix == nil:
-				candidates = eng.typeGroups[*q.Type]
+				candidates = eng.view.typeGroups[*q.Type]
 			default:
-				candidates = eng.swlinTree.Group(q.SWLINPrefix)
+				candidates = eng.view.swlinTree.Group(q.SWLINPrefix)
 			}
-			want := eng.intersectMap(candidates, timeSet, q.Type)
+			want := eng.view.intersectMap(candidates, timeSet, q.Type)
 			if len(got) != len(want) {
 				t.Fatalf("seed %d trial %d: merge %v != map %v (q=%+v ts=%g)", seed, trial, got, want, q, ts)
 			}

@@ -21,7 +21,7 @@ fail=0
 [ -f "$DOC" ] || { echo "check_docs: $DOC missing"; exit 1; }
 
 # 1. Endpoints: rows of the Endpoints() table in internal/server/obs.go.
-endpoints=$(sed -n 's/^[[:space:]]*{"\([A-Z]*\)", "\(\/[a-z]*\)".*/\1 \2/p' internal/server/obs.go)
+endpoints=$(sed -n 's/^[[:space:]]*{"\([A-Z]*\)", "\(\/[a-z\/]*\)".*/\1 \2/p' internal/server/obs.go)
 [ -n "$endpoints" ] || { echo "check_docs: extracted no endpoints from internal/server/obs.go"; exit 1; }
 for e in $(printf '%s\n' "$endpoints" | tr ' ' '~'); do
 	pat=$(printf '%s' "$e" | tr '~' ' ')
