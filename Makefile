@@ -30,9 +30,11 @@ stress:
 		./internal/server/ ./internal/statusq/ ./internal/index/
 
 # chaos runs the fault-injection and crash-recovery suites under the race
-# detector: WAL torn-tail/replay recovery, kill-mid-ingest restart proofs,
-# injected disk and engine-build faults, load shedding, and panic
-# recovery (see DESIGN.md "Durability & fault model").
+# detector: WAL torn-tail/replay recovery, kill-mid-ingest restart proofs
+# (single-catalog and per-shard against the 4-shard router), injected
+# disk and engine-build faults with cross-shard error isolation, load
+# shedding, and panic recovery (see DESIGN.md "Durability & fault
+# model").
 chaos:
 	$(GO) test -race -timeout $(STRESS_TIMEOUT) \
 		-run 'Chaos|Fault|Torn|Recovery|Durable|Injected|Fire|Arm|Enable|Reset' \
@@ -59,7 +61,9 @@ docs:
 # under the race detector: random RCC streams applied via the O(delta)
 # path must stay bitwise-identical (math.Float64bits) to engines rebuilt
 # from scratch, at the engine, catalog+WAL-replay, sweep, and
-# stat-structure layers.
+# stat-structure layers — including the 4-shard router
+# (TestDeltaShardedEquivalence), whose answers must match a single
+# catalog fed the same stream.
 differential:
 	$(GO) test -race -count 1 -run 'TestDelta' ./internal/statusq/
 
@@ -72,9 +76,12 @@ check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) differential && $(MAKE) lint && $(MAKE) docs
 
 # bench runs the Go micro-benchmarks (including the statusq
-# ApplyRCC-vs-rebuild pair backing DESIGN.md §4.3) and then the loadgen
-# harness, which rewrites BENCH_6.json from a live served workload.
+# ApplyRCC-vs-rebuild pair backing DESIGN.md §4.3), then the loadgen
+# harness, which rewrites BENCH_6.json from a live served workload, and
+# finally the shard-scaling scenario, which rewrites BENCH_7.json from a
+# fsync-per-ack sweep of 1..8 shards (powers of two).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) test -run '^$$' -bench 'ApplyRCC|RebuildAfterIngest' -benchmem ./internal/statusq/
 	$(GO) run ./cmd/domd loadgen -duration 5s -serve-rccs 1500 -micro-iters 300 -out BENCH_6.json
+	$(GO) run ./cmd/domd loadgen -scenario shards -shards 8 -duration 3s -out BENCH_7.json

@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,14 +48,17 @@ import (
 	"domd/internal/server"
 	"domd/internal/split"
 	"domd/internal/statusq"
+	"domd/internal/wal"
 )
 
 // loadgenConfig carries the `domd loadgen` flags.
 type loadgenConfig struct {
 	addr       string
+	scenario   string
 	duration   time.Duration
 	clients    int
 	serveRCCs  int
+	shards     int
 	seed       int64
 	microIters int
 	out        string
@@ -111,12 +115,32 @@ type microReport struct {
 	Speedup      float64 `json:"speedup"`
 }
 
-// loadgenReport is the BENCH_6.json document.
+// shardRunReport summarizes one direct-drive run of the shard-scaling
+// scenario against an N-shard durable catalog.
+type shardRunReport struct {
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	DurationSec float64 `json:"duration_sec"`
+	Ingests     int64   `json:"ingests"`
+	Queries     int64   `json:"queries"`
+	// ShardAvails is how many ongoing avails the ring placed on each
+	// shard — the workload's actual spread.
+	ShardAvails   []int   `json:"shard_avails"`
+	IngestsPerSec float64 `json:"ingests_per_sec"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+}
+
+// loadgenReport is the BENCH_6.json / BENCH_7.json document.
 type loadgenReport struct {
 	GeneratedBy string           `json:"generated_by"`
 	Config      map[string]any   `json:"config"`
-	Scenarios   []scenarioReport `json:"scenarios"`
+	Scenarios   []scenarioReport `json:"scenarios,omitempty"`
 	Micro       *microReport     `json:"micro,omitempty"`
+	// ShardRuns holds the shard-scaling scenario's runs (1 shard, then
+	// -shards shards); ShardThroughputSpeedup is the headline aggregate
+	// ingest+query ops/sec ratio between them.
+	ShardRuns              []shardRunReport `json:"shard_runs,omitempty"`
+	ShardThroughputSpeedup float64          `json:"shard_throughput_speedup,omitempty"`
 	// PostIngestQuerySpeedup is the headline ratio: warm-avail
 	// post-ingest query cost on the rebuild path over the delta path,
 	// from the in-process micro-benchmark.
@@ -130,13 +154,21 @@ func runLoadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	cfg := loadgenConfig{}
 	fs.StringVar(&cfg.addr, "addr", "", "target server base URL (empty: self-serve a synthetic fleet in-process)")
+	fs.StringVar(&cfg.scenario, "scenario", "delta", "workload scenario: delta (HTTP A/B of the O(delta) ingest path) or shards (direct-drive shard-scaling of the durable catalog)")
 	fs.DurationVar(&cfg.duration, "duration", 3*time.Second, "wall-clock length of each workload scenario")
 	fs.IntVar(&cfg.clients, "clients", 4, "closed-loop client goroutines")
 	fs.IntVar(&cfg.serveRCCs, "serve-rccs", 1500, "mean RCCs per served avail in self-serve mode")
+	fs.IntVar(&cfg.shards, "shards", 4, "shard count compared against a single shard by -scenario shards")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed (dataset and workload)")
 	fs.IntVar(&cfg.microIters, "micro-iters", 200, "iterations of the apply-vs-rebuild micro-benchmark")
-	fs.StringVar(&cfg.out, "out", "BENCH_6.json", "report output path")
+	fs.StringVar(&cfg.out, "out", "", "report output path (default BENCH_6.json; BENCH_7.json for -scenario shards)")
 	parseFlags(fs, args)
+	if cfg.out == "" {
+		cfg.out = "BENCH_6.json"
+		if cfg.scenario == "shards" {
+			cfg.out = "BENCH_7.json"
+		}
+	}
 	report, err := loadgen(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -150,6 +182,13 @@ func runLoadgen(args []string) {
 // loadgen runs the whole harness and assembles the report; split from
 // runLoadgen so tests can call it without flag parsing or log.Fatal.
 func loadgen(cfg loadgenConfig) (*loadgenReport, error) {
+	switch cfg.scenario {
+	case "", "delta":
+	case "shards":
+		return shardScaling(cfg)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown -scenario %q (want delta or shards)", cfg.scenario)
+	}
 	report := &loadgenReport{
 		GeneratedBy: "domd loadgen",
 		Config: map[string]any{
@@ -274,8 +313,8 @@ func fetchOngoing(base string) ([]domain.Avail, error) {
 		return nil, fmt.Errorf("loadgen: GET /avails: status %d", resp.StatusCode)
 	}
 	var rows []struct {
-		ID       int    `json:"id"`
-		Status   string `json:"status"`
+		ID        int    `json:"id"`
+		Status    string `json:"status"`
 		PlanStart string `json:"plan_start"`
 		PlanEnd   string `json:"plan_end"`
 		ActStart  string `json:"actual_start"`
@@ -375,11 +414,11 @@ func runScenario(base, name string, delta bool, serve *navsim.Dataset, cfg loadg
 		Errors:     lat.errors,
 		Ops:        map[string]opReport{},
 		Metrics: map[string]float64{
-			"engine_builds":    after["domd_engine_builds_total"] - before["domd_engine_builds_total"],
-			"delta_applies":    after["domd_engine_delta_applies_total"] - before["domd_engine_delta_applies_total"],
-			"delta_fallbacks":  sumSeries(after, "domd_engine_delta_fallbacks_total{") - sumSeries(before, "domd_engine_delta_fallbacks_total{"),
-			"requests":         sumSeries(after, "domd_http_requests_total{") - sumSeries(before, "domd_http_requests_total{"),
-			"stale_serves":     after["domd_engine_stale_serves_total"] - before["domd_engine_stale_serves_total"],
+			"engine_builds":     after["domd_engine_builds_total"] - before["domd_engine_builds_total"],
+			"delta_applies":     after["domd_engine_delta_applies_total"] - before["domd_engine_delta_applies_total"],
+			"delta_fallbacks":   sumSeries(after, "domd_engine_delta_fallbacks_total{") - sumSeries(before, "domd_engine_delta_fallbacks_total{"),
+			"requests":          sumSeries(after, "domd_http_requests_total{") - sumSeries(before, "domd_http_requests_total{"),
+			"stale_serves":      after["domd_engine_stale_serves_total"] - before["domd_engine_stale_serves_total"],
 			"engine_cache_hits": after["domd_engine_cache_hits_total"] - before["domd_engine_cache_hits_total"],
 		},
 		QueryP95ServerMS: histPercentile(before, after, "domd_http_request_duration_seconds", "/query", 0.95) * 1000,
@@ -493,13 +532,23 @@ func histPercentile(before, after map[string]float64, family, route string, q fl
 	if total <= 0 {
 		return 0
 	}
+	// The quantile can land in the +Inf overflow bucket (every histogram
+	// has one). +Inf is useless in a report; the honest answer is the
+	// largest finite edge, reported as a lower bound.
+	lastFinite := 0.0
 	target := q * total
 	for _, b := range buckets {
 		if b.count >= target {
+			if math.IsInf(b.le, 1) {
+				break
+			}
 			return b.le
 		}
+		if !math.IsInf(b.le, 1) {
+			lastFinite = b.le
+		}
 	}
-	return buckets[len(buckets)-1].le
+	return lastFinite
 }
 
 func parseLe(s string) (float64, error) {
@@ -611,6 +660,171 @@ func runMicro(serve *navsim.Dataset, cfg loadgenConfig) (*microReport, error) {
 	}, nil
 }
 
+// shardScaling measures how ingest+query throughput of the durable
+// catalog tier scales with shard count. It drives ShardedCatalog
+// directly — no HTTP, no ML evaluation — because the point is the
+// tier's own ceiling: with -fsync always, a single shard serializes
+// every acknowledgment behind one fsync, while N shards overlap N
+// fsyncs. The same ingest-heavy closed-loop workload (15 ingests : 1
+// engine query) runs over the same fleet, same WAL policy, same worker
+// count at every power-of-two shard count from 1 up to -shards.
+func shardScaling(cfg loadgenConfig) (*loadgenReport, error) {
+	if cfg.shards < 2 {
+		return nil, fmt.Errorf("loadgen: -scenario shards needs -shards >= 2, got %d", cfg.shards)
+	}
+	// Issuing N overlapping fdatasyncs needs N runnable Ps; on a small
+	// host GOMAXPROCS would otherwise serialize syscall entry behind
+	// sysmon's ~20µs P-retake and understate every multi-shard run.
+	if want := cfg.shards + 2; runtime.GOMAXPROCS(0) < want {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(want))
+	}
+	fleet, err := navsim.Generate(navsim.Config{
+		NumClosed: 4, NumOngoing: 48, MeanRCCsPerAvail: 60, Seed: cfg.seed + 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: shard fleet: %w", err)
+	}
+	// The same worker count for both runs, sized so every shard of the
+	// larger tier has queued work while another shard's fsync is in
+	// flight.
+	workers := cfg.clients
+	if workers < 2*cfg.shards {
+		workers = 2 * cfg.shards
+	}
+	report := &loadgenReport{
+		GeneratedBy: "domd loadgen",
+		Config: map[string]any{
+			"scenario": "shards",
+			"duration": cfg.duration.String(),
+			"workers":  workers,
+			"shards":   cfg.shards,
+			"seed":     cfg.seed,
+			"fsync":    "always",
+		},
+	}
+	counts := []int{1}
+	for n := 2; n < cfg.shards; n *= 2 {
+		counts = append(counts, n)
+	}
+	counts = append(counts, cfg.shards)
+	for _, n := range counts {
+		run, err := driveShardTier(fleet, n, workers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.ShardRuns = append(report.ShardRuns, run)
+	}
+	if base := report.ShardRuns[0].OpsPerSec; base > 0 {
+		report.ShardThroughputSpeedup = report.ShardRuns[len(report.ShardRuns)-1].OpsPerSec / base
+	}
+	emitBench(report)
+	return report, nil
+}
+
+// driveShardTier opens an n-shard durable catalog in a throwaway root
+// and hammers it for cfg.duration with the closed-loop workload.
+func driveShardTier(fleet *navsim.Dataset, n, workers int, cfg loadgenConfig) (shardRunReport, error) {
+	root, err := os.MkdirTemp("", "domd-loadgen-shards-")
+	if err != nil {
+		return shardRunReport{}, err
+	}
+	defer os.RemoveAll(root) //lint:ignore droppederr best-effort cleanup of a throwaway temp root
+	sc, _, err := statusq.OpenSharded(root, n, fleet.Avails, fleet.RCCs, index.KindAVL,
+		statusq.DurableOptions{WAL: wal.Options{Policy: wal.SyncAlways}})
+	if err != nil {
+		return shardRunReport{}, err
+	}
+	defer sc.Close() //lint:ignore droppederr the run's numbers are already collected; close is cleanup
+
+	byID := map[int]*domain.Avail{}
+	for i := range fleet.Avails {
+		byID[fleet.Avails[i].ID] = &fleet.Avails[i]
+	}
+	ongoing := sc.OngoingIDs()
+	if len(ongoing) == 0 {
+		return shardRunReport{}, fmt.Errorf("loadgen: shard fleet has no ongoing avails")
+	}
+	// Warm every engine so the measured window exercises the steady
+	// state: delta-applied ingests and cached-engine evals, not builds.
+	for _, id := range ongoing {
+		if _, err := sc.Engine(id); err != nil {
+			return shardRunReport{}, fmt.Errorf("loadgen: warm engine %d: %w", id, err)
+		}
+	}
+	// Balanced routing: workers spread ops evenly over the shards that
+	// own ongoing avails (a load balancer in front of a sharded tier
+	// does the same), so the measurement is the tier's aggregate
+	// ceiling, not whichever shard the ring happened to load most.
+	spread := make([]int, n)
+	perShard := make([][]int, n)
+	for _, id := range ongoing {
+		s := sc.ShardOf(id)
+		spread[s]++
+		perShard[s] = append(perShard[s], id)
+	}
+	var lanes [][]int
+	for _, ids := range perShard {
+		if len(ids) > 0 {
+			lanes = append(lanes, ids)
+		}
+	}
+
+	var ingests, queries atomic.Int64
+	var firstErr atomic.Value
+	q := statusq.Query{Status: domain.Active, Agg: statusq.SumAmount}
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*104729))
+			for op := 0; time.Now().Before(deadline); op++ {
+				lane := lanes[(w+op)%len(lanes)]
+				a := byID[lane[rng.Intn(len(lane))]]
+				if op%16 == 15 {
+					if _, err := sc.Eval(a.ID, 60, q); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					queries.Add(1)
+					continue
+				}
+				id := int(nextRCCID.Add(1))
+				rcc := domain.RCC{
+					ID: id, AvailID: a.ID, Type: domain.Growth,
+					SWLIN:   43411001 + rng.Intn(9),
+					Created: a.ActStart + domain.Day(rng.Intn(int(a.PlannedDuration()))),
+					Settled: a.ActStart + domain.Day(int(a.PlannedDuration())+rng.Intn(100)),
+					Amount:  float64(100 + rng.Intn(5000)),
+				}
+				if _, err := sc.Ingest(fmt.Sprintf("lg-%d", id), rcc); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ingests.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok {
+		return shardRunReport{}, fmt.Errorf("loadgen: %d-shard run: %w", n, err)
+	}
+	in, qs := ingests.Load(), queries.Load()
+	return shardRunReport{
+		Shards:        n,
+		Workers:       workers,
+		DurationSec:   elapsed,
+		Ingests:       in,
+		Queries:       qs,
+		ShardAvails:   spread,
+		IngestsPerSec: float64(in) / elapsed,
+		OpsPerSec:     float64(in+qs) / elapsed,
+	}, nil
+}
+
 // emitBench prints the headline numbers as "BENCH <name> <value>" lines.
 func emitBench(r *loadgenReport) {
 	for _, sc := range r.Scenarios {
@@ -628,6 +842,13 @@ func emitBench(r *loadgenReport) {
 	}
 	if r.StormQueryP95Ratio > 0 {
 		fmt.Printf("BENCH loadgen/storm_query_p95_ratio %.2f\n", r.StormQueryP95Ratio)
+	}
+	for _, run := range r.ShardRuns {
+		fmt.Printf("BENCH shards/%d/ingests_per_sec %.0f\n", run.Shards, run.IngestsPerSec)
+		fmt.Printf("BENCH shards/%d/ops_per_sec %.0f\n", run.Shards, run.OpsPerSec)
+	}
+	if r.ShardThroughputSpeedup > 0 {
+		fmt.Printf("BENCH shards/throughput_speedup %.2f\n", r.ShardThroughputSpeedup)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -76,5 +77,115 @@ func TestLoadgenSmoke(t *testing.T) {
 	if parsed.PostIngestQuerySpeedup != parsed.Micro.Speedup {
 		t.Errorf("headline speedup %v != micro speedup %v",
 			parsed.PostIngestQuerySpeedup, parsed.Micro.Speedup)
+	}
+}
+
+// histKey builds the metric-map key histPercentile scans for, matching
+// the text-exposition form the /metrics scraper produces.
+func histKey(family, route, le string) string {
+	return fmt.Sprintf(`%s_bucket{route=%q,le="%s"}`, family, route, le)
+}
+
+func TestHistPercentile(t *testing.T) {
+	const fam, route = "domd_http_request_duration_seconds", "/rccs"
+	after := map[string]float64{
+		histKey(fam, route, "0.005"): 10,
+		histKey(fam, route, "0.05"):  90,
+		histKey(fam, route, "0.5"):   99,
+		histKey(fam, route, "+Inf"):  100,
+	}
+	if got := histPercentile(nil, after, fam, route, 0.5); got != 0.05 {
+		t.Fatalf("p50 = %v, want 0.05", got)
+	}
+	if got := histPercentile(nil, after, fam, route, 0.95); got != 0.5 {
+		t.Fatalf("p95 = %v, want 0.5", got)
+	}
+	// The p999 quantile lands in the +Inf overflow bucket. The report
+	// must state the largest finite edge as a lower bound, never +Inf.
+	if got := histPercentile(nil, after, fam, route, 0.999); got != 0.5 {
+		t.Fatalf("p999 = %v, want largest finite edge 0.5", got)
+	}
+}
+
+func TestHistPercentileAllOverflow(t *testing.T) {
+	// Every observation landed beyond the last finite edge: finite
+	// buckets are empty and only +Inf accumulated. Before the fix this
+	// returned +Inf, which poisoned the JSON report (json.Marshal
+	// rejects it).
+	const fam, route = "domd_http_request_duration_seconds", "/query"
+	after := map[string]float64{
+		histKey(fam, route, "0.005"): 0,
+		histKey(fam, route, "0.05"):  0,
+		histKey(fam, route, "+Inf"):  7,
+	}
+	if got := histPercentile(nil, after, fam, route, 0.95); got != 0.05 {
+		t.Fatalf("p95 = %v, want last finite edge 0.05", got)
+	}
+}
+
+func TestHistPercentileEmpty(t *testing.T) {
+	const fam, route = "domd_http_request_duration_seconds", "/fleet"
+	if got := histPercentile(nil, map[string]float64{}, fam, route, 0.95); got != 0 {
+		t.Fatalf("no buckets: got %v, want 0", got)
+	}
+	// Buckets exist but nothing was observed in the window (before ==
+	// after): total is 0, percentile must be 0, not NaN or a divide
+	// artifact.
+	m := map[string]float64{
+		histKey(fam, route, "0.05"): 42,
+		histKey(fam, route, "+Inf"): 42,
+	}
+	if got := histPercentile(m, m, fam, route, 0.95); got != 0 {
+		t.Fatalf("empty window: got %v, want 0", got)
+	}
+}
+
+// TestShardScalingSmoke runs the shards scenario end to end at a tiny
+// duration: the point is wiring (sweep shape, report fields, JSON
+// output), not throughput numbers.
+func TestShardScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives fsync-per-ack ingest loops")
+	}
+	cfg := loadgenConfig{
+		scenario: "shards",
+		shards:   2,
+		clients:  4,
+		duration: 150 * time.Millisecond,
+		seed:     7,
+	}
+	report, err := shardScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ShardRuns) != 2 {
+		t.Fatalf("got %d shard runs, want 2 (1 and 2 shards)", len(report.ShardRuns))
+	}
+	for i, want := range []int{1, 2} {
+		run := report.ShardRuns[i]
+		if run.Shards != want {
+			t.Fatalf("run %d: shards = %d, want %d", i, run.Shards, want)
+		}
+		if run.Ingests == 0 {
+			t.Fatalf("run %d: no ingests completed", i)
+		}
+		if len(run.ShardAvails) != want {
+			t.Fatalf("run %d: spread over %d shards, want %d", i, len(run.ShardAvails), want)
+		}
+	}
+	if report.ShardThroughputSpeedup <= 0 {
+		t.Fatalf("speedup = %v, want > 0", report.ShardThroughputSpeedup)
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeLoadgenReport(out, report); err != nil {
+		t.Fatal(err)
+	}
+	var parsed loadgenReport
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("shard report is not valid JSON: %v", err)
 	}
 }

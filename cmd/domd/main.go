@@ -322,6 +322,8 @@ func runServe(args []string) {
 	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, every, or never")
 	fsyncEvery := fs.Int("fsync-every", 64, "records between fsyncs when -fsync=every")
 	walCompactEvery := fs.Int("wal-compact-every", 1024, "ingests between WAL snapshots (0 disables auto-compaction)")
+	shards := fs.Int("shards", 1, "partition the catalog into N consistent-hash shards, each with its own WAL subdirectory (requires -wal-dir; topology is pinned on first open)")
+	dedupCap := fs.Int("dedup-cap", statusq.DefaultDedupCap, "max idempotency keys tracked per catalog shard (negative: unbounded)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiles on this address (empty: disabled; keep it loopback-only)")
 	quiet := fs.Bool("quiet", false, "disable per-request trace logging")
 	// -h prints the endpoint table after the flags, from the same
@@ -343,29 +345,57 @@ func runServe(args []string) {
 		RequestTimeout:   *requestTimeout,
 		MaxBodyBytes:     *maxBody,
 	}
-	var catalog *statusq.Catalog
-	var durable *statusq.DurableCatalog
+	if *shards < 1 {
+		log.Fatal("-shards must be at least 1")
+	}
+	if *shards > 1 && *walDir == "" {
+		log.Fatal("-shards requires -wal-dir (each shard owns a WAL subdirectory)")
+	}
+	var catalog server.Catalog
+	var closeCatalog func() error
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dc, info, err := statusq.OpenDurable(*walDir, avails, rccs, index.KindAVL, statusq.DurableOptions{
+		dopts := statusq.DurableOptions{
 			WAL:          wal.Options{Policy: policy, Every: *fsyncEvery},
 			CompactEvery: *walCompactEvery,
-		})
-		if err != nil {
-			log.Fatal(err)
+			DedupCap:     *dedupCap,
 		}
-		log.Printf("WAL restore from %s: %d RCCs re-applied (%d duplicates, %d orphaned), snapshot seq %d, %d log records",
-			*walDir, info.Restored, info.Duplicates, info.Skipped, info.Recovery.SnapshotSeq, info.Recovery.Records)
-		if info.Recovery.TornTail {
-			log.Printf("WAL restore: torn tail repaired at offset %d (%d bytes dropped)",
-				info.Recovery.TornOffset, info.Recovery.TornBytes)
+		if *shards > 1 {
+			sc, info, err := statusq.OpenSharded(*walDir, *shards, avails, rccs, index.KindAVL, dopts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tot := info.Totals()
+			log.Printf("WAL restore from %s (%d shards): %d RCCs re-applied (%d duplicates, %d orphaned), %d log records",
+				*walDir, sc.ShardCount(), tot.Restored, tot.Duplicates, tot.Skipped, tot.Recovery.Records)
+			for _, sh := range info.Shards {
+				log.Printf("  shard %d (%s): %d avails, %d restored, snapshot seq %d, %d log records",
+					sh.Shard, sh.Dir, sh.Avails, sh.Info.Restored, sh.Info.Recovery.SnapshotSeq, sh.Info.Recovery.Records)
+				if sh.Info.Recovery.TornTail {
+					log.Printf("  shard %d: torn tail repaired at offset %d (%d bytes dropped)",
+						sh.Shard, sh.Info.Recovery.TornOffset, sh.Info.Recovery.TornBytes)
+				}
+			}
+			catalog = sc // server.New wires sc as the Ingester too
+			closeCatalog = sc.Close
+		} else {
+			dc, info, err := statusq.OpenDurable(*walDir, avails, rccs, index.KindAVL, dopts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("WAL restore from %s: %d RCCs re-applied (%d duplicates, %d orphaned), snapshot seq %d, %d log records",
+				*walDir, info.Restored, info.Duplicates, info.Skipped, info.Recovery.SnapshotSeq, info.Recovery.Records)
+			if info.Recovery.TornTail {
+				log.Printf("WAL restore: torn tail repaired at offset %d (%d bytes dropped)",
+					info.Recovery.TornOffset, info.Recovery.TornBytes)
+			}
+			catalog = dc.Catalog
+			opts.Ingester = dc
+			closeCatalog = dc.Close
 		}
-		durable = dc
-		catalog = dc.Catalog
-		opts.Ingester = dc
 	} else {
 		cat, err := statusq.NewCatalog(avails, rccs, index.KindAVL)
 		if err != nil {
@@ -425,8 +455,8 @@ func runServe(args []string) {
 	if err := <-done; err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
-	if durable != nil {
-		if err := durable.Close(); err != nil {
+	if closeCatalog != nil {
+		if err := closeCatalog(); err != nil {
 			log.Fatalf("close WAL: %v", err)
 		}
 	}

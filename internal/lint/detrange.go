@@ -85,6 +85,13 @@ func checkMapRange(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 			if isOutputCall(p, x) {
 				p.Reportf(x.Pos(), "map iteration order is random: output written inside `range` over a map")
 			}
+		case *ast.GoStmt:
+			// Shard fan-out hazard: goroutines launched while ranging a
+			// map start (and usually finish) in a random order, so any
+			// positional result slot, merge order, or routing decision
+			// derived from launch order differs run-to-run. Scatter-gather
+			// must iterate a sorted snapshot of the keys instead.
+			p.Reportf(x.Pos(), "map iteration order is random: goroutine fan-out inside `range` over a map")
 		}
 		return true
 	})

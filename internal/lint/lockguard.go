@@ -53,10 +53,21 @@ func runLockguard(p *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
+			if callerHoldsRe.MatchString(fn.Doc.Text()) {
+				// A lock-held helper: its doc transfers the locking
+				// obligation to the call sites, which the analyzer does
+				// check (they contain the Lock call or the constructor).
+				continue
+			}
 			checkGuardedAccesses(p, fn, guards, mutexes)
 		}
 	}
 }
+
+// callerHoldsRe recognizes the doc-comment annotation that marks a
+// helper as requiring its caller to hold the guarding mutex, e.g.
+// "Callers hold d.mu." — the in-tree equivalent of a REQUIRES clause.
+var callerHoldsRe = regexp.MustCompile(`(?i)\bcallers? (must )?hold`)
 
 // collectGuards parses struct field comments into the guard table.
 func collectGuards(p *Pass, f *ast.File, guards map[*types.Var]guardDecl, mutexes map[*types.Var]bool) {

@@ -54,3 +54,25 @@ func SliceRange(xs []string) []string {
 	}
 	return out
 }
+
+// BadFanOut launches scatter goroutines in map order: their start (and
+// completion) order differs run-to-run, so any merge keyed on launch
+// position is nondeterministic.
+func BadFanOut(shards map[int]func()) {
+	for _, work := range shards {
+		go work() // want `goroutine fan-out inside .range. over a map`
+	}
+}
+
+// GoodFanOut snapshots and sorts the keys first, then fans out in a
+// deterministic order.
+func GoodFanOut(shards map[int]func()) {
+	var ids []int
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		go shards[id]()
+	}
+}

@@ -76,3 +76,17 @@ func (s *Slot) Suppressed() int {
 	//lint:ignore lockguard fixture demo of the suppression convention
 	return s.val
 }
+
+// bump is a lock-held helper. Callers hold s.mu, so the unlocked access
+// is their obligation, not bump's.
+func (s *Slot) bump() {
+	s.val++
+}
+
+// Bump takes the lock and delegates to the annotated helper: clean at
+// both levels.
+func (s *Slot) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}

@@ -117,9 +117,9 @@ func TestTextFormatValid(t *testing.T) {
 		t.Fatalf("exposition did not parse: %v", err)
 	}
 	checks := map[string]float64{
-		`a_total`:    3,
-		`b_inflight`: -2,
-		`c_total{route="/fleet",code="200"}`:    1,
+		`a_total`:                            3,
+		`b_inflight`:                         -2,
+		`c_total{route="/fleet",code="200"}`: 1,
 		`d_seconds_bucket{route="/query",le="0.5"}`:  1,
 		`d_seconds_bucket{route="/query",le="+Inf"}`: 1,
 		`d_seconds_count{route="/query"}`:            1,
@@ -178,11 +178,11 @@ func TestSnapshotDeterminism(t *testing.T) {
 // unknown kind, malformed samples, duplicate series.
 func TestParseTextRejects(t *testing.T) {
 	bad := []string{
-		"a_total 1",                                // sample before TYPE
-		"# TYPE a_total sparkline\na_total 1",      // unknown kind
-		"# TYPE a_total counter\na_total one",      // non-numeric value
+		"a_total 1",                                    // sample before TYPE
+		"# TYPE a_total sparkline\na_total 1",          // unknown kind
+		"# TYPE a_total counter\na_total one",          // non-numeric value
 		"# TYPE a_total counter\na_total 1\na_total 1", // duplicate series
-		"# HELPa_total x",                          // malformed comment
+		"# HELPa_total x",                              // malformed comment
 	}
 	for _, text := range bad {
 		if _, err := obs.ParseText(strings.NewReader(text)); err == nil {

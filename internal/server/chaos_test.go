@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"domd/internal/faultinject"
@@ -278,8 +279,8 @@ func TestChaosLoadShedding(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second request = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("shed response without Retry-After")
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 || ra > 60 {
+		t.Errorf("shed Retry-After = %q, want an integer in [1, 60]", resp.Header.Get("Retry-After"))
 	}
 	// Probes bypass the limiter even at capacity.
 	get(t, srv.URL+"/healthz", http.StatusOK, nil)

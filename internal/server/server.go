@@ -69,15 +69,18 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"domd/internal/core"
 	"domd/internal/domain"
 	"domd/internal/features"
+	"domd/internal/index"
 	"domd/internal/obs"
 	"domd/internal/statusq"
 	"domd/internal/swlin"
@@ -139,10 +142,30 @@ type Options struct {
 	Logger *log.Logger
 }
 
+// Catalog is the queryable serving surface the handlers read from. Both
+// *statusq.Catalog (one engine cache, one lock) and *statusq.ShardedCatalog
+// (N shards keyed by avail id, point lookups routed to the owning shard,
+// fleet sweeps merged across shards in ascending id order) satisfy it, so
+// the handler call sites are identical under either topology.
+type Catalog interface {
+	// Kind reports the TimeIndex design engines are built with.
+	Kind() index.Kind
+	// Avail resolves one avail record by id.
+	Avail(id int) (*domain.Avail, bool)
+	// AvailIDs lists every avail id in ascending order.
+	AvailIDs() []int
+	// OngoingIDs lists ongoing avail ids in ascending order — the
+	// deterministic sweep /fleet renders.
+	OngoingIDs() []int
+	// EngineAsOf resolves an avail's serving engine with stale/asOf
+	// provenance (see statusq.Catalog.EngineAsOf).
+	EngineAsOf(id int) (eng *statusq.Engine, asOf int64, stale bool, err error)
+}
+
 // Server handles the SMDII-style JSON API.
 type Server struct {
 	svc      *core.QueryService
-	catalog  *statusq.Catalog
+	catalog  Catalog
 	ingester Ingester
 	mux      *http.ServeMux
 	fleetPar int
@@ -150,12 +173,16 @@ type Server struct {
 	timeout  time.Duration // 0 when the deadline is disabled
 	maxBody  int64
 	logger   *log.Logger
+	// latEWMA is math.Float64bits of an exponentially weighted moving
+	// average of request latency in seconds; Retry-After on 503s is
+	// derived from it (see retryAfterSeconds).
+	latEWMA atomic.Uint64
 }
 
 // New wires a trained pipeline and an avail catalog into an http.Handler.
 // Queries hit the catalog's engine cache; the catalog's index kind decides
 // the Status Query backend.
-func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, opts Options) *Server {
+func New(p *core.Pipeline, ext *features.Extractor, catalog Catalog, opts Options) *Server {
 	par := opts.FleetParallelism
 	if par <= 0 {
 		par = DefaultFleetParallelism
@@ -170,7 +197,17 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog *statusq.Catalog, op
 		logger:   opts.Logger,
 	}
 	if s.ingester == nil {
-		s.ingester = &memIngester{catalog: catalog, seen: make(map[string]bool)}
+		// A catalog that can ingest durably (a sharded tier) handles its
+		// own writes; a plain in-memory catalog gets the non-durable
+		// fallback.
+		switch c := catalog.(type) {
+		case Ingester:
+			s.ingester = c
+		case *statusq.Catalog:
+			s.ingester = &memIngester{catalog: c, seen: make(map[string]bool)}
+		default:
+			panic("server: catalog cannot ingest and no Options.Ingester was provided")
+		}
 	}
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -289,7 +326,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		finished = true
 		mRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
-		mLatency.With(route).Observe(span.Elapsed().Seconds())
+		sec := span.Elapsed().Seconds()
+		mLatency.With(route).Observe(sec)
+		s.noteLatency(sec)
 		if s.logger != nil {
 			s.logger.Printf("%s", span.Line(rec.status))
 		}
@@ -325,7 +364,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		default:
 			mShed.Inc()
 			span.Set("outcome", "shed")
-			rec.Header().Set("Retry-After", "1")
+			rec.Header().Set("Retry-After", s.retryAfterSeconds())
 			s.writeErr(rec, r, http.StatusServiceUnavailable, fmt.Errorf("server at capacity; retry"))
 			finish()
 			return
@@ -342,6 +381,53 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	s.mux.ServeHTTP(rec, r)
 	finish()
+}
+
+// maxRetryAfterSeconds caps the derived backoff hint: past a minute the
+// client should be probing /readyz, not sleeping longer.
+const maxRetryAfterSeconds = 60
+
+// noteLatency folds one request's latency into the server's EWMA
+// (alpha 1/8; the first observation seeds the average). Lock-free so
+// the request path never serializes on it.
+func (s *Server) noteLatency(sec float64) {
+	for {
+		old := s.latEWMA.Load()
+		avg := sec
+		if old != 0 {
+			avg = math.Float64frombits(old) + (sec-math.Float64frombits(old))/8
+		}
+		if s.latEWMA.CompareAndSwap(old, math.Float64bits(avg)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint on 503 responses from
+// current in-flight pressure instead of a hardcoded constant: the
+// expected backlog drain time is (mean request latency × in-flight
+// depth / concurrency), rounded up and clamped to [1, 60] seconds. A
+// lightly loaded server still says 1; a server saturated with slow
+// requests — e.g. every worker stuck on one faulted shard — tells
+// clients to back off for as long as the backlog will realistically
+// take to clear.
+func (s *Server) retryAfterSeconds() string {
+	depth, capacity := 0, 1
+	if s.inflight != nil {
+		depth = len(s.inflight)
+		if c := cap(s.inflight); c > 1 {
+			capacity = c
+		}
+	}
+	mean := math.Float64frombits(s.latEWMA.Load())
+	secs := int(math.Ceil(mean * float64(depth) / float64(capacity)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return strconv.Itoa(secs)
 }
 
 type errorBody struct {
@@ -770,7 +856,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Storage fault or not-ready: nothing was acknowledged. The
 		// client retries with the same key; replay dedup makes the
 		// retry exactly-once even if the failed attempt reached disk.
-		w.Header().Set("Retry-After", "1")
+		// The backoff hint scales with current in-flight pressure — a
+		// saturated shard shows up as piled-up requests here.
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		s.writeErr(w, r, http.StatusServiceUnavailable, err)
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -362,6 +363,35 @@ func TestRouteStatusCodes(t *testing.T) {
 			}
 		})
 	}
+
+	// 503 responses advertise a pressure-derived Retry-After, not a
+	// hardcoded 1s: expected backlog drain time = EWMA latency × depth /
+	// capacity, rounded up and clamped to [1, 60].
+	t.Run("retry-after derivation", func(t *testing.T) {
+		s := &Server{inflight: make(chan struct{}, 4)}
+		if got := s.retryAfterSeconds(); got != "1" {
+			t.Errorf("idle server Retry-After = %q, want 1", got)
+		}
+		for i := 0; i < 4; i++ {
+			s.inflight <- struct{}{}
+		}
+		s.latEWMA.Store(math.Float64bits(10.0))
+		if got := s.retryAfterSeconds(); got != "10" {
+			t.Errorf("saturated server (10s EWMA, 4/4 slots) Retry-After = %q, want 10", got)
+		}
+		s.latEWMA.Store(math.Float64bits(0.5))
+		if got := s.retryAfterSeconds(); got != "1" {
+			t.Errorf("fast-request saturation Retry-After = %q, want floor of 1", got)
+		}
+		s.latEWMA.Store(math.Float64bits(120.0))
+		if got := s.retryAfterSeconds(); got != "60" {
+			t.Errorf("pathological backlog Retry-After = %q, want 60 cap", got)
+		}
+		noShed := &Server{}
+		if got := noShed.retryAfterSeconds(); got != "1" {
+			t.Errorf("shedding-disabled Retry-After = %q, want 1", got)
+		}
+	})
 }
 
 // batchBody builds a /query/batch payload with n copies of one valid query.

@@ -1,0 +1,123 @@
+package statusq
+
+import (
+	"fmt"
+	"testing"
+
+	"domd/internal/index"
+)
+
+// TestDurableDedupBounded is the regression gate for the idempotency-key
+// memory leak: sustained unique-key traffic must not grow the dedup
+// index past the configured budget (plus the pinned un-snapshotted
+// suffix), while recently acknowledged keys keep deduplicating.
+func TestDurableDedupBounded(t *testing.T) {
+	d, _, _ := durableFixture(t, t.TempDir(), DurableOptions{DedupCap: 8, CompactEvery: 4})
+	defer d.Close()
+	ids := d.AvailIDs()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if dup, err := d.Ingest(fmt.Sprintf("leak%d", i), deltaRCC(t, d.Catalog, ids[i%len(ids)], i)); err != nil || dup {
+			t.Fatalf("ingest %d: dup=%v err=%v", i, dup, err)
+		}
+	}
+	// Budget 8 plus at most CompactEvery-1 pinned keys awaiting the next
+	// snapshot.
+	if got := d.DedupTracked(); got > 8+4 {
+		t.Fatalf("dedup index holds %d keys after %d unique ingests; budget is 8 (+4 pinned)", got, n)
+	}
+	// The newest key is inside the window: its retry must dedup.
+	lastID := ids[(n-1)%len(ids)]
+	if dup, err := d.Ingest(fmt.Sprintf("leak%d", n-1), deltaRCC(t, d.Catalog, lastID, n-1)); err != nil || !dup {
+		t.Fatalf("retry of newest key: dup=%v err=%v, want dup=true", dup, err)
+	}
+	// The oldest key fell out of the window: a retry is accepted as a
+	// fresh record — the documented capacity trade-off.
+	before := d.IngestedCount()
+	if dup, err := d.Ingest("leak0", deltaRCC(t, d.Catalog, ids[0], 0)); err != nil || dup {
+		t.Fatalf("retry of evicted key: dup=%v err=%v, want fresh apply", dup, err)
+	}
+	if got := d.IngestedCount(); got != before+1 {
+		t.Fatalf("evicted-key retry applied %d records, want 1", got-before)
+	}
+}
+
+// TestDurableDedupPinnedUntilSnapshot pins the exactly-once guarantee
+// for the WAL window: keys whose records are still in the un-snapshotted
+// log suffix are never evicted, no matter how far past the budget the
+// index grows, until a compaction folds them into a snapshot.
+func TestDurableDedupPinnedUntilSnapshot(t *testing.T) {
+	d, _, _ := durableFixture(t, t.TempDir(), DurableOptions{DedupCap: 4, CompactEvery: 0})
+	defer d.Close()
+	ids := d.AvailIDs()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if dup, err := d.Ingest(fmt.Sprintf("pin%d", i), deltaRCC(t, d.Catalog, ids[i%len(ids)], i)); err != nil || dup {
+			t.Fatalf("ingest %d: dup=%v err=%v", i, dup, err)
+		}
+	}
+	if got := d.DedupTracked(); got != n {
+		t.Fatalf("dedup index holds %d keys, want all %d pinned (no snapshot yet)", got, n)
+	}
+	// Every key is still in the WAL window, so every retry dedups.
+	for i := 0; i < n; i++ {
+		if dup, err := d.Ingest(fmt.Sprintf("pin%d", i), deltaRCC(t, d.Catalog, ids[i%len(ids)], i)); err != nil || !dup {
+			t.Fatalf("retry %d inside WAL window: dup=%v err=%v, want dup=true", i, dup, err)
+		}
+	}
+	// Compaction unpins: the index snaps down to the budget.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DedupTracked(); got != 4 {
+		t.Fatalf("dedup index holds %d keys after compaction, want budget 4", got)
+	}
+}
+
+// TestDurableDedupRestoreEquivalence proves bounded dedup does not
+// break restart semantics: an evicted key that was legitimately
+// re-accepted as a fresh record is applied twice on replay too — no
+// acknowledged record disappears across a restart. (Replay evicts
+// through the same bounded index as live ingest; the crash-window
+// duplicate-pair direction is covered by
+// TestDurableReplayDedupsDuplicateRecords.)
+func TestDurableDedupRestoreEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{DedupCap: 4, CompactEvery: 2}
+	d, _, ds := durableFixture(t, dir, opts)
+	ids := d.AvailIDs()
+
+	// Acknowledge "victim", push it out of the window with 12 unique
+	// keys (budget 4), then re-ingest it: accepted as fresh.
+	if dup, err := d.Ingest("victim", deltaRCC(t, d.Catalog, ids[0], 0)); err != nil || dup {
+		t.Fatalf("victim ingest: dup=%v err=%v", dup, err)
+	}
+	for i := 1; i <= 12; i++ {
+		if dup, err := d.Ingest(fmt.Sprintf("fill%d", i), deltaRCC(t, d.Catalog, ids[i%len(ids)], i)); err != nil || dup {
+			t.Fatalf("fill %d: dup=%v err=%v", i, dup, err)
+		}
+	}
+	if dup, err := d.Ingest("victim", deltaRCC(t, d.Catalog, ids[0], 13)); err != nil || dup {
+		t.Fatalf("re-accepted victim: dup=%v err=%v, want fresh apply", dup, err)
+	}
+	want := evalFingerprint(t, d.Catalog)
+	applied := d.IngestedCount()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, info, err := OpenDurable(dir, ds.Avails, ds.RCCs, index.KindAVL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if info.Restored != applied {
+		t.Fatalf("restored %d records, want %d (re-accepted key must not collapse)", info.Restored, applied)
+	}
+	if info.Duplicates != 0 {
+		t.Fatalf("replay counted %d duplicates, want 0", info.Duplicates)
+	}
+	if got := evalFingerprint(t, d2.Catalog); !sameFingerprint(got, want) {
+		t.Fatal("restored catalog answers differ from pre-restart answers")
+	}
+}

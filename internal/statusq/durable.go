@@ -36,6 +36,11 @@ type walState struct {
 	Entries []walEntry `json:"entries"`
 }
 
+// DefaultDedupCap is the idempotency-key budget applied when
+// DurableOptions.DedupCap is zero: roughly 65k keys, a few MiB of
+// strings at typical key lengths, per catalog (per shard when sharded).
+const DefaultDedupCap = 1 << 16
+
 // DurableOptions tune a DurableCatalog.
 type DurableOptions struct {
 	// WAL configures the underlying log, most importantly the fsync
@@ -45,6 +50,29 @@ type DurableOptions struct {
 	// many ingested records since the last snapshot; <= 0 disables
 	// auto-compaction (Compact can still be called manually).
 	CompactEvery int
+	// DedupCap bounds the in-memory idempotency-key index so sustained
+	// unique-key traffic is not a slow memory leak. When more than
+	// DedupCap keys are live, the oldest snapshot-covered keys are
+	// evicted in acknowledgment order. Keys whose records still sit in
+	// the un-snapshotted log suffix are never evicted, so exactly-once
+	// holds for every key still in the WAL window; an evicted (ancient,
+	// already-snapshotted) key retried later is accepted as a fresh
+	// record — the documented idempotency window is
+	// min(DedupCap acknowledgments, age of the last snapshot).
+	// 0 applies DefaultDedupCap; negative disables the bound.
+	DedupCap int
+}
+
+// dedupCap resolves the configured idempotency-key budget.
+func (o DurableOptions) dedupCap() int {
+	switch {
+	case o.DedupCap < 0:
+		return 0 // unbounded
+	case o.DedupCap == 0:
+		return DefaultDedupCap
+	default:
+		return o.DedupCap
+	}
 }
 
 // RestoreInfo reports what OpenDurable reconstructed on top of the base
@@ -79,8 +107,15 @@ type DurableCatalog struct {
 	// open flips false on Close; Ready gates /readyz on it.
 	open atomic.Bool
 
-	mu        sync.Mutex // guards seen, applied, sinceSnap, and compactErr
-	seen      map[string]bool
+	mu   sync.Mutex // guards seen, keyq, snapKeys, applied, sinceSnap, and compactErr
+	seen map[string]bool
+	// keyq holds the live idempotency keys in acknowledgment order; its
+	// prefix of snapKeys entries is covered by the last snapshot and
+	// therefore evictable once the index exceeds the DedupCap budget.
+	// Keys after that prefix belong to the un-snapshotted log suffix
+	// and are pinned (see DurableOptions.DedupCap).
+	keyq      []string
+	snapKeys  int
 	applied   []walEntry
 	sinceSnap int
 	// compactErr is the most recent auto-compaction failure (nil when
@@ -120,9 +155,10 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 		}
 		entries = st.Entries
 	}
+	snapCount := len(entries)
 	for _, raw := range rec.Entries {
-		var e walEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
+		e, err := decodeWALEntry(raw)
+		if err != nil {
 			// The CRC already vouched for the bytes, so this is a format
 			// mismatch (version skew), not disk damage: refuse to guess.
 			closeBestEffort(log)
@@ -130,7 +166,14 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 		}
 		entries = append(entries, e)
 	}
-	for _, e := range entries {
+	// Replay dedups through the same bounded index live ingestion uses,
+	// evicting as it goes. That reproduces the live process's decisions
+	// exactly: crash-window duplicate records sit close together on the
+	// log and still collapse to one apply, while a re-accepted evicted
+	// key (two records with the same key, by construction separated by
+	// at least DedupCap unique keys) is correctly applied twice — an
+	// acknowledged record never disappears across a restart.
+	for i, e := range entries {
 		if e.Key != "" && d.seen[e.Key] {
 			info.Duplicates++
 			mIngestRestored.With("duplicate").Inc()
@@ -143,6 +186,11 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 		}
 		if e.Key != "" {
 			d.seen[e.Key] = true
+			d.keyq = append(d.keyq, e.Key)
+			if i < snapCount {
+				d.snapKeys++
+			}
+			d.evictExcess()
 		}
 		d.applied = append(d.applied, e)
 		info.Restored++
@@ -150,6 +198,37 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 	}
 	d.open.Store(true)
 	return d, info, nil
+}
+
+// evictExcess trims the idempotency-key index down to the configured
+// budget, oldest acknowledgment first, never dipping past the
+// snapshot-covered prefix (keys still in the un-snapshotted log suffix
+// stay dedupable until a compaction folds them into a snapshot).
+// Callers hold d.mu (or, in OpenDurable, exclusive ownership).
+func (d *DurableCatalog) evictExcess() {
+	budget := d.opts.dedupCap()
+	if budget <= 0 {
+		return
+	}
+	for len(d.seen) > budget && d.snapKeys > 0 {
+		delete(d.seen, d.keyq[0])
+		d.keyq = d.keyq[1:]
+		d.snapKeys--
+		mDedupEvictions.Inc()
+	}
+	// Reclaim the queue's backing array once eviction has walked far
+	// enough into it that more than half the capacity is dead prefix.
+	if cap(d.keyq) > 64 && len(d.keyq)*2 < cap(d.keyq) {
+		d.keyq = append(make([]string, 0, len(d.keyq)), d.keyq...)
+	}
+}
+
+// DedupTracked reports the number of idempotency keys currently held in
+// the bounded dedup index — the quantity DedupCap caps.
+func (d *DurableCatalog) DedupTracked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seen)
 }
 
 // closeBestEffort closes a log whose contents we are abandoning anyway.
@@ -202,11 +281,7 @@ func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) 
 	if err := d.Ready(); err != nil {
 		return false, err
 	}
-	e := walEntry{Key: key, RCC: r}
-	payload, err := json.Marshal(e)
-	if err != nil {
-		return false, fmt.Errorf("statusq: encode WAL record: %w", err)
-	}
+	payload := encodeWALEntry(walEntry{Key: key, RCC: r})
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -233,8 +308,10 @@ func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) 
 	}
 	if key != "" {
 		d.seen[key] = true
+		d.keyq = append(d.keyq, key)
+		d.evictExcess()
 	}
-	d.applied = append(d.applied, e)
+	d.applied = append(d.applied, walEntry{Key: key, RCC: r})
 	d.sinceSnap++
 	mIngestAcks.Inc()
 	if d.opts.CompactEvery > 0 && d.sinceSnap >= d.opts.CompactEvery {
@@ -249,6 +326,10 @@ func (d *DurableCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) 
 		} else {
 			d.compactErr = nil
 			d.sinceSnap = 0
+			// Every live key is now snapshot-covered, which unpins the
+			// whole queue for capacity eviction.
+			d.snapKeys = len(d.keyq)
+			d.evictExcess()
 		}
 	}
 	return false, nil
@@ -268,6 +349,8 @@ func (d *DurableCatalog) Compact() error {
 		return err
 	}
 	d.sinceSnap = 0
+	d.snapKeys = len(d.keyq)
+	d.evictExcess()
 	return nil
 }
 

@@ -43,10 +43,17 @@ func deltaRCC(t *testing.T, c *Catalog, availID, n int) domain.RCC {
 	}
 }
 
+// evalSurface is the query surface evalFingerprint sweeps — satisfied
+// by *Catalog, *DurableCatalog, and *ShardedCatalog alike.
+type evalSurface interface {
+	AvailIDs() []int
+	Eval(id int, ts float64, q Query) (float64, error)
+}
+
 // evalFingerprint evaluates a grid of Status Queries over every avail and
 // returns the raw float bits, so two catalogs can be compared for
 // bitwise-identical answers.
-func evalFingerprint(t *testing.T, c *Catalog) []uint64 {
+func evalFingerprint(t *testing.T, c evalSurface) []uint64 {
 	t.Helper()
 	var out []uint64
 	queries := []Query{

@@ -30,4 +30,15 @@ var (
 		"Ingest calls that failed without acknowledgment (storage fault, closed WAL, invalid record).")
 	mIngestRestored = obs.NewCounterVec("domd_ingest_restored_total",
 		"WAL-replayed delta RCCs at startup, by outcome.", "outcome")
+	mDedupEvictions = obs.NewCounter("domd_ingest_dedup_evictions_total",
+		"Idempotency keys evicted from the bounded dedup index (oldest snapshot-covered keys first).")
+
+	// Shard-labeled serving metrics. Label cardinality is bounded by the
+	// -shards flag (one series per shard), so the registry stays small.
+	mShardIngests = obs.NewCounterVec("domd_shard_ingests_total",
+		"RCC ingests routed to each shard of a sharded catalog.", "shard")
+	mShardEngineLookups = obs.NewCounterVec("domd_shard_engine_lookups_total",
+		"Engine lookups (point queries, batch rows, fleet sweeps) routed to each shard.", "shard")
+	mShardAvails = obs.NewGaugeVec("domd_shard_avails",
+		"Avails owned by each shard of a sharded catalog.", "shard")
 )

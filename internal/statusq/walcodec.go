@@ -1,0 +1,99 @@
+// walcodec.go is the compact wire format for individual WAL records.
+//
+// Every acknowledged ingest marshals one walEntry onto the log, so the
+// codec sits on the hot path of the durable ingest tier: a JSON marshal
+// there costs more CPU than the catalog apply itself and, on a sharded
+// tier whose fsyncs overlap, becomes a visible slice of the per-core
+// throughput ceiling. Records are varint-packed and then base64-wrapped
+// because the log is line-framed (payloads must be newline-free; see
+// wal.Log.Append). Snapshots (cold path, written once per compaction)
+// stay JSON. Decoding accepts both formats — logs written by older
+// builds replay byte-for-byte — by sniffing the first byte: JSON
+// records always start with '{', packed records with walEntryV1.
+package statusq
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"domd/internal/domain"
+)
+
+// walEntryV1 tags a packed walEntry: the tag byte followed by the
+// base64 (RawStdEncoding) of the varint-packed fields. The alphabet is
+// newline-free and the tag must never collide with '{' (0x7b), the
+// first byte of every legacy JSON record.
+const walEntryV1 = 'B'
+
+var walB64 = base64.RawStdEncoding
+
+// encodeWALEntry marshals e in the packed record format.
+func encodeWALEntry(e walEntry) []byte {
+	body := make([]byte, 0, 56+len(e.Key))
+	body = binary.AppendUvarint(body, uint64(len(e.Key)))
+	body = append(body, e.Key...)
+	body = binary.AppendVarint(body, int64(e.RCC.ID))
+	body = binary.AppendVarint(body, int64(e.RCC.AvailID))
+	body = binary.AppendVarint(body, int64(e.RCC.Type))
+	body = binary.AppendVarint(body, int64(e.RCC.SWLIN))
+	body = binary.AppendVarint(body, int64(e.RCC.Created))
+	body = binary.AppendVarint(body, int64(e.RCC.Settled))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(e.RCC.Amount))
+
+	out := make([]byte, 1+walB64.EncodedLen(len(body)))
+	out[0] = walEntryV1
+	walB64.Encode(out[1:], body)
+	return out
+}
+
+// decodeWALEntry unmarshals a WAL record in either the packed format
+// or the legacy JSON format.
+func decodeWALEntry(raw []byte) (walEntry, error) {
+	if len(raw) == 0 {
+		return walEntry{}, fmt.Errorf("statusq: empty WAL record")
+	}
+	if raw[0] == '{' {
+		var e walEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return walEntry{}, err
+		}
+		return e, nil
+	}
+	if raw[0] != walEntryV1 {
+		return walEntry{}, fmt.Errorf("statusq: unknown WAL record version 0x%02x", raw[0])
+	}
+	b := make([]byte, walB64.DecodedLen(len(raw)-1))
+	n, err := walB64.Decode(b, raw[1:])
+	if err != nil {
+		return walEntry{}, fmt.Errorf("statusq: unwrap WAL record: %w", err)
+	}
+	b = b[:n]
+	klen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < klen {
+		return walEntry{}, fmt.Errorf("statusq: truncated WAL record key")
+	}
+	b = b[n:]
+	e := walEntry{Key: string(b[:klen])}
+	b = b[klen:]
+	var id, availID, typ, swlin, created, settled int
+	for i, dst := range []*int{&id, &availID, &typ, &swlin, &created, &settled} {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return walEntry{}, fmt.Errorf("statusq: truncated WAL record field %d", i)
+		}
+		*dst = int(v)
+		b = b[n:]
+	}
+	if len(b) != 8 {
+		return walEntry{}, fmt.Errorf("statusq: WAL record has %d trailing bytes, want 8", len(b))
+	}
+	e.RCC = domain.RCC{
+		ID: id, AvailID: availID, Type: domain.RCCType(typ),
+		SWLIN: swlin, Created: domain.Day(created), Settled: domain.Day(settled),
+		Amount: math.Float64frombits(binary.LittleEndian.Uint64(b)),
+	}
+	return e, nil
+}

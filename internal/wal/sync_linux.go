@@ -1,0 +1,20 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// On Linux, per-record flushes use fdatasync: it covers "all data
+// required in order that the data can be retrieved" (POSIX), including
+// the size update an extending append makes, while skipping the full
+// journal transaction fsync forces for timestamp metadata. That both
+// lowers per-record latency and lets appends to different shard logs
+// overlap at the device.
+func init() {
+	datasync = func(f *os.File) error {
+		return syscall.Fdatasync(int(f.Fd()))
+	}
+}

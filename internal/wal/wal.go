@@ -363,7 +363,7 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 		sw := obs.StartTimer()
-		if err := l.f.Sync(); err != nil {
+		if err := datasync(l.f); err != nil {
 			mAppendFailures.Inc()
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
