@@ -41,20 +41,24 @@ chaos:
 		./internal/wal/ ./internal/statusq/ ./internal/server/ ./internal/faultinject/
 
 # lint runs domdlint, the project's invariant analyzers (internal/lint):
-# lockguard, detrange, floateq, walltime, droppederr, ctxflow. Non-zero
-# exit on any finding; suppress a deliberate violation with
+# the per-function checks (lockguard, detrange, floateq, walltime,
+# droppederr, ctxflow, docstring) plus the interprocedural call-graph
+# analyzers (lockorder, goleak, ackorder, metriccatalog). Non-zero exit
+# on any finding; suppress a deliberate violation with
 # `//lint:ignore <analyzer> <reason>` (see DESIGN.md "Enforced
 # invariants").
 lint:
 	$(GO) run ./cmd/domdlint ./...
 
 # docs keeps the operator documentation honest: the docstring analyzer
-# enforces godoc-convention comments on the operator-facing packages, and
-# scripts/check_docs.sh cross-checks docs/OPERATIONS.md against the
-# served endpoints, registered metrics, serve flags, and failpoints — so
-# documentation rot fails the build.
+# enforces godoc-convention comments on the operator-facing packages, the
+# metriccatalog analyzer enforces bidirectional agreement between obs
+# metric registrations and docs/OPERATIONS.md (file:line findings in both
+# directions), and scripts/check_docs.sh cross-checks the served
+# endpoints, serve flags, and failpoints — so documentation rot fails
+# the build.
 docs:
-	$(GO) run ./cmd/domdlint -analyzers docstring ./...
+	$(GO) run ./cmd/domdlint -analyzers docstring,metriccatalog ./...
 	sh scripts/check_docs.sh
 
 # differential re-runs the incremental-maintenance equivalence suite

@@ -230,12 +230,16 @@ func loadgen(cfg loadgenConfig) (*loadgenReport, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: handler}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("loadgen server close: %v", err)
+		}
+		if err := <-srvErr; err != nil && err != http.ErrServerClosed {
 			log.Printf("loadgen server: %v", err)
 		}
 	}()
-	defer srv.Close()
 	base := "http://" + ln.Addr().String()
 
 	// The rebuild storm first (delta path off), then the delta path, with

@@ -416,9 +416,17 @@ func runServe(args []string) {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pm}
+		pprofErr := make(chan error, 1)
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+			pprofErr <- pprofSrv.ListenAndServe()
+		}()
+		defer func() {
+			if err := pprofSrv.Close(); err != nil {
+				log.Printf("pprof close: %v", err)
+			}
+			if err := <-pprofErr; err != nil && err != http.ErrServerClosed {
 				log.Printf("pprof server: %v", err)
 			}
 		}()

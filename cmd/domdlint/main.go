@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	domdlint [-json] [-analyzers a,b] [patterns ...]
+//	domdlint [-json] [-fix] [-analyzers a,b] [patterns ...]
 //
 // Patterns are package directories or "dir/..." trees (default "./...").
 // Exit status: 0 clean, 1 findings reported, 2 load/usage failure. Every
 // finding names the analyzer; suppress a deliberate violation with a
 // `//lint:ignore <analyzer> <reason>` comment on or directly above the
-// flagged line.
+// flagged line. -fix emits a ready-to-paste suppression line per finding
+// (in JSON output, the "suppression" field) so triaging an intentional
+// violation is copy-paste; it does not rewrite files.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"domd/internal/lint"
 )
@@ -28,12 +31,27 @@ type jsonDiag struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	// Suppression, under -fix, is the //lint:ignore line to paste above
+	// the finding, prefixed with its destination file:line.
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// suppressionFor renders the paste-ready ignore directive for a finding.
+// Findings anchored outside Go sources (metriccatalog's stale doc rows)
+// have no line to carry a directive, so they get no suggestion.
+func suppressionFor(d lint.Diagnostic) string {
+	if !strings.HasSuffix(d.Pos.Filename, ".go") {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d: //lint:ignore %s TODO(justify): why this violation is intentional",
+		d.Pos.Filename, d.Pos.Line, d.Analyzer)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("domdlint: ")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fix := flag.Bool("fix", false, "emit a ready-to-paste //lint:ignore suppression per finding")
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
@@ -76,13 +94,17 @@ func main() {
 	if *jsonOut {
 		out := make([]jsonDiag, 0, len(diags)) // non-nil: a clean tree encodes []
 		for _, d := range diags {
-			out = append(out, jsonDiag{
+			jd := jsonDiag{
 				Analyzer: d.Analyzer,
 				File:     d.Pos.Filename,
 				Line:     d.Pos.Line,
 				Col:      d.Pos.Column,
 				Message:  d.Message,
-			})
+			}
+			if *fix {
+				jd.Suppression = suppressionFor(d)
+			}
+			out = append(out, jd)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -93,6 +115,11 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			if *fix {
+				if s := suppressionFor(d); s != "" {
+					fmt.Printf("\tsuppress with: %s\n", s)
+				}
+			}
 		}
 	}
 	if len(diags) > 0 {

@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Ackorder enforces the PR-4 log-before-ack durability contract,
+// interprocedurally: on any path that appends to the WAL, nothing that
+// acknowledges the record — writing a 2xx response or recording it in
+// durable dedup/ack state — may happen before the append completes. A
+// crash in the reordered window acknowledges a record the log never
+// saw, which replay then cannot restore: the exact-computation
+// guarantee the paper's framework rests on silently loses an RCC.
+//
+// Effects are summarized per function and propagated over the call
+// graph, so the violation is caught wherever it is split across
+// helpers: a handler that calls writeJSON(w, http.StatusOK) before
+// calling an Ingest that appends, or an ingest method whose dedup-mark
+// helper runs before the append.
+//
+// Durable state is defined structurally: any struct with a field of
+// type *Log from a wal package (path segment "wal") is a durable owner,
+// and its other fields are ack state. Structs without a WAL handle —
+// like the server's in-memory fallback ingester — acknowledge without
+// durability by design and are exempt. Functions that construct the
+// durable owner (composite literal) are exempt too: restore/replay
+// populates state from the log rather than ahead of it.
+var Ackorder = &Analyzer{
+	Name:      "ackorder",
+	Doc:       "no 2xx ack or durable-state mutation may precede the WAL append (log-before-ack)",
+	RunModule: runAckorder,
+}
+
+// ackEffects is the per-function summary for the ordering check.
+type ackEffects uint8
+
+const (
+	ackMayAppend      ackEffects = 1 << iota // may reach wal Log.Append
+	ackMayWriteHeader                        // may reach ResponseWriter.WriteHeader
+	ackMayAck2xx                             // may write a constant-2xx response
+	ackMayMutate                             // may mutate durable ack state
+)
+
+type ackState struct {
+	pass *ModulePass
+	// durableFields maps each ack-state field (fields of a struct that
+	// also holds a *wal.Log) to true.
+	durableFields map[*types.Var]bool
+	// durableOwners are the structs holding a WAL handle, for the
+	// constructor exemption.
+	durableOwners map[*types.TypeName]bool
+	calls         map[*Node][]callSite
+	summary       map[*Node]ackEffects
+}
+
+type callSite struct {
+	callee *Node
+	site   token.Pos
+}
+
+func runAckorder(p *ModulePass) {
+	st := &ackState{
+		pass:          p,
+		durableFields: map[*types.Var]bool{},
+		durableOwners: map[*types.TypeName]bool{},
+		calls:         map[*Node][]callSite{},
+		summary:       map[*Node]ackEffects{},
+	}
+	st.collectDurable()
+	for _, n := range p.Graph.Nodes() {
+		node := n
+		inspectOutsideGo(node.Decl.Body, func(x ast.Node) bool {
+			if call, isCall := x.(*ast.CallExpr); isCall {
+				for _, rc := range p.Graph.resolve(node.Pkg, call) {
+					st.calls[node] = append(st.calls[node], callSite{rc.node, call.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	// Stage 1: who can reach WriteHeader — needed before constant-2xx
+	// call sites can be classified as acks.
+	p.Graph.Fixpoint(func(n *Node) bool {
+		eff := st.summary[n]
+		if st.ownWriteHeader(n) {
+			eff |= ackMayWriteHeader
+		}
+		for _, c := range st.calls[n] {
+			eff |= st.summary[c.callee] & ackMayWriteHeader
+		}
+		if eff == st.summary[n] {
+			return false
+		}
+		st.summary[n] = eff
+		return true
+	})
+	// Stage 2: append / ack / mutate summaries (ack sites depend on
+	// stage 1's WriteHeader reachability).
+	p.Graph.Fixpoint(func(n *Node) bool {
+		eff := st.summary[n] | st.ownOrderEffects(n)
+		for _, c := range st.calls[n] {
+			eff |= st.summary[c.callee] & (ackMayAppend | ackMayAck2xx | ackMayMutate)
+		}
+		if eff == st.summary[n] {
+			return false
+		}
+		st.summary[n] = eff
+		return true
+	})
+	for _, n := range p.Graph.Nodes() {
+		if st.constructsDurable(n) {
+			continue
+		}
+		w := &ackWalker{st: st, node: n}
+		w.walk(n.Decl.Body)
+	}
+}
+
+// collectDurable finds every struct holding a *wal.Log and marks its
+// other fields as durable ack state.
+func (st *ackState) collectDurable() {
+	for _, pkg := range st.pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType || tn.IsAlias() {
+				continue
+			}
+			str, isStruct := tn.Type().Underlying().(*types.Struct)
+			if !isStruct {
+				continue
+			}
+			logIdx := -1
+			for i := 0; i < str.NumFields(); i++ {
+				if isWALLog(str.Field(i).Type()) {
+					logIdx = i
+					break
+				}
+			}
+			if logIdx < 0 {
+				continue
+			}
+			st.durableOwners[tn] = true
+			for i := 0; i < str.NumFields(); i++ {
+				if i == logIdx {
+					continue
+				}
+				st.durableFields[str.Field(i)] = true
+			}
+		}
+	}
+}
+
+// isWALLog reports whether t is (a pointer to) a named type Log declared
+// in a package with a "wal" path segment.
+func isWALLog(t types.Type) bool {
+	n, isNamed := namedOf(t)
+	if !isNamed || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Log" && pathHasSegment(n.Obj().Pkg().Path(), "wal")
+}
+
+// isWALAppend reports whether call invokes Append on a wal Log.
+func isWALAppend(pkg *Package, call *ast.CallExpr) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Append" {
+		return false
+	}
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	return isWALLog(selection.Recv())
+}
+
+// isWriteHeader reports whether call is ResponseWriter.WriteHeader (any
+// type implementing the net/http signature — the fixture and the real
+// server both go through the interface method).
+func isWriteHeader(pkg *Package, call *ast.CallExpr) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	selection := pkg.Info.Selections[sel]
+	return selection != nil && selection.Kind() == types.MethodVal
+}
+
+func (st *ackState) ownWriteHeader(n *Node) bool {
+	found := false
+	inspectOutsideGo(n.Decl.Body, func(x ast.Node) bool {
+		if call, isCall := x.(*ast.CallExpr); isCall && isWriteHeader(n.Pkg, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ownOrderEffects computes a node's direct append/ack/mutate effects.
+func (st *ackState) ownOrderEffects(n *Node) ackEffects {
+	eff := ackEffects(0)
+	inspectOutsideGo(n.Decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if isWALAppend(n.Pkg, x) {
+				eff |= ackMayAppend
+			}
+			if st.isAck2xx(n, x) {
+				eff |= ackMayAck2xx
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if st.mutatesDurable(n.Pkg, lhs) {
+					eff |= ackMayMutate
+				}
+			}
+		case *ast.IncDecStmt:
+			if st.mutatesDurable(n.Pkg, x.X) {
+				eff |= ackMayMutate
+			}
+		}
+		return true
+	})
+	return eff
+}
+
+// isAck2xx reports whether call writes a success status: a constant in
+// [200,300) passed to a function that (transitively) reaches
+// WriteHeader, or to WriteHeader itself.
+func (st *ackState) isAck2xx(n *Node, call *ast.CallExpr) bool {
+	has2xx := false
+	for _, arg := range call.Args {
+		if tv, has := n.Pkg.Info.Types[arg]; has && tv.Value != nil &&
+			tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(tv.Value); exact && v >= 200 && v < 300 {
+				has2xx = true
+			}
+		}
+	}
+	if !has2xx {
+		return false
+	}
+	if isWriteHeader(n.Pkg, call) {
+		return true
+	}
+	for _, rc := range st.pass.Graph.resolve(n.Pkg, call) {
+		if st.summary[rc.node]&ackMayWriteHeader != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mutatesDurable reports whether lhs writes a durable ack-state field
+// (through any chain of indexing/dereference).
+func (st *ackState) mutatesDurable(pkg *Package, lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = x.X
+			continue
+		case *ast.StarExpr:
+			lhs = x.X
+			continue
+		case *ast.ParenExpr:
+			lhs = x.X
+			continue
+		case *ast.SelectorExpr:
+			if v, isVar := pkg.Info.Uses[x.Sel].(*types.Var); isVar && st.durableFields[v] {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// constructsDurable reports whether n builds a durable owner via a
+// composite literal — restore/constructor code, exempt like lockguard's
+// constructor rule.
+func (st *ackState) constructsDurable(n *Node) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		if lit, isLit := x.(*ast.CompositeLit); isLit {
+			if named, isNamed := namedOf(st.pass.TypeOf(n.Pkg, lit)); isNamed &&
+				st.durableOwners[named.Obj()] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pendingEffect is one ack-before-append candidate awaiting a later
+// append on the same (linearized) path.
+type pendingEffect struct {
+	pos  token.Pos
+	desc string
+}
+
+// ackWalker re-walks one body in source order carrying the pending
+// effects; an append reports and clears them, a return discards them
+// (that path ended without appending, so nothing was mis-ordered).
+type ackWalker struct {
+	st      *ackState
+	node    *Node
+	pending []pendingEffect
+}
+
+func (w *ackWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.ReturnStmt:
+			// Process result expressions first: `return s.log.Append(p)`
+			// is an append with the current pending set.
+			for _, res := range x.Results {
+				w.walk(res)
+			}
+			w.pending = nil
+			return false
+		case *ast.CallExpr:
+			w.visitCall(x)
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if w.st.mutatesDurable(w.node.Pkg, lhs) {
+					w.pend(lhs.Pos(), "durable dedup/ack state mutated")
+				}
+			}
+			return true
+		case *ast.IncDecStmt:
+			if w.st.mutatesDurable(w.node.Pkg, x.X) {
+				w.pend(x.Pos(), "durable dedup/ack state mutated")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (w *ackWalker) visitCall(call *ast.CallExpr) {
+	pkg := w.node.Pkg
+	calleeEff := ackEffects(0)
+	for _, rc := range w.st.pass.Graph.resolve(pkg, call) {
+		calleeEff |= w.st.summary[rc.node]
+	}
+	if isWALAppend(pkg, call) || calleeEff&ackMayAppend != 0 {
+		for _, pe := range w.pending {
+			w.st.pass.Reportf(pe.pos,
+				"%s before the WAL append at %s completes (log-before-ack): a crash in between acks a record the log never saw",
+				pe.desc, pkg.Fset.Position(call.Pos()))
+		}
+		w.pending = nil
+		return
+	}
+	if w.st.isAck2xx(w.node, call) {
+		w.pend(call.Pos(), "2xx response written")
+		return
+	}
+	if calleeEff&ackMayAck2xx != 0 {
+		w.pend(call.Pos(), "2xx response written (via callee)")
+		return
+	}
+	if calleeEff&ackMayMutate != 0 {
+		w.pend(call.Pos(), "durable dedup/ack state mutated (via callee)")
+	}
+}
+
+func (w *ackWalker) pend(pos token.Pos, desc string) {
+	w.pending = append(w.pending, pendingEffect{pos, desc})
+}

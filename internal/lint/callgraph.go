@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// callgraph.go is the interprocedural half of domdlint: a module-wide
+// call graph over the packages one Load call produced, plus the worklist
+// fixpoint analyzers use to push per-function effect summaries over it.
+// The per-function analyzers (lockguard, droppederr, ...) see one body at
+// a time; the whole-program analyzers (lockorder, goleak, ackorder) see
+// this graph instead, because the invariants they enforce — mutex
+// acquisition order, goroutine join paths, log-before-ack — only exist
+// across call boundaries.
+//
+// Resolution rules, in order:
+//
+//   - Static calls: a direct call to a package-level function or a
+//     method call on a concrete receiver resolves to exactly that
+//     declaration (promotion through embedding included — go/types'
+//     Selection already names the real method).
+//   - Interface dispatch: a method call through an interface-typed
+//     receiver fans out to every module-internal named type whose
+//     method set implements the interface, bounded by maxDispatch —
+//     past the bound the site is treated as opaque rather than
+//     exploding the graph (and analyses built on the graph stay
+//     under-approximate, never wrong about what they did resolve).
+//   - Function values (closures stored in variables, callbacks passed
+//     around) are not tracked; function literals called in place (or
+//     passed directly to a call) are analyzed as part of the enclosing
+//     function, matching lockguard's closure convention.
+//
+// Generic instantiations collapse onto their origin declaration, so a
+// summary is computed once per generic function, not once per
+// instantiation.
+
+// maxDispatch bounds interface fan-out: a call site through an interface
+// with more module-internal implementations than this is left unresolved.
+// The module's widest interface (server.Catalog) has three
+// implementations, so 16 is generous without making summaries mushy.
+const maxDispatch = 16
+
+// Node is one module function (or method) in the call graph.
+type Node struct {
+	// Func is the type-checker object; generic functions appear as their
+	// origin declaration.
+	Func *types.Func
+	// Decl is the function's syntax, with a non-nil Body.
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration was loaded from.
+	Pkg *Package
+	// Out lists resolved call edges in source order.
+	Out []Edge
+	// In lists the distinct callers, in deterministic graph order —
+	// the worklist fixpoint walks it to requeue dependents.
+	In []*Node
+}
+
+// Name renders the node for diagnostics and tests: "pkg.Func" or
+// "pkg.(Recv).Method".
+func (n *Node) Name() string {
+	f := n.Func
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Name() + "."
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := namedOf(sig.Recv().Type()); ok {
+			return pkg + "(" + named.Obj().Name() + ")." + f.Name()
+		}
+	}
+	return pkg + f.Name()
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	// Callee is the resolved target node.
+	Callee *Node
+	// Site is the call expression's position.
+	Site token.Pos
+	// Dynamic marks an interface-dispatch edge (one of possibly several
+	// targets for the same site).
+	Dynamic bool
+}
+
+// CallGraph is the module-wide call graph BuildCallGraph produces.
+type CallGraph struct {
+	byFunc map[*types.Func]*Node
+	// nodes holds every node in deterministic (file, offset) order; all
+	// graph iteration goes through it so analyses are reproducible.
+	nodes []*Node
+
+	// dispatchBound is maxDispatch, overridable in tests.
+	dispatchBound int
+
+	// implCache memoizes interface-method resolution per (interface,
+	// method name).
+	implCache map[implKey][]*Node
+	// namedTypes is every module-internal named (non-interface) type,
+	// the candidate set for dispatch resolution, in deterministic order.
+	namedTypes []*types.TypeName
+}
+
+type implKey struct {
+	iface *types.Interface
+	meth  string
+}
+
+// BuildCallGraph constructs the call graph over the given packages (one
+// Load call's worth — they share a FileSet and a type-checker universe,
+// so function objects are identical across package boundaries).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	return buildCallGraph(pkgs, maxDispatch)
+}
+
+func buildCallGraph(pkgs []*Package, bound int) *CallGraph {
+	g := &CallGraph{
+		byFunc:        make(map[*types.Func]*Node),
+		dispatchBound: bound,
+		implCache:     make(map[implKey][]*Node),
+	}
+	// Pass 1: one node per function declaration with a body, plus the
+	// module's named-type universe for dispatch resolution.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				obj = obj.Origin()
+				if _, dup := g.byFunc[obj]; dup {
+					continue
+				}
+				n := &Node{Func: obj, Decl: fn, Pkg: pkg}
+				g.byFunc[obj] = n
+				g.nodes = append(g.nodes, n)
+			}
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, tn)
+		}
+	}
+	sort.Slice(g.nodes, func(i, j int) bool {
+		a := g.nodes[i].Pkg.Fset.Position(g.nodes[i].Decl.Pos())
+		b := g.nodes[j].Pkg.Fset.Position(g.nodes[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	sort.Slice(g.namedTypes, func(i, j int) bool {
+		a, b := g.namedTypes[i], g.namedTypes[j]
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+
+	// Pass 2: resolve call sites.
+	for _, n := range g.nodes {
+		node := n
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range g.resolve(node.Pkg, call) {
+				node.Out = append(node.Out, Edge{
+					Callee:  callee.node,
+					Site:    call.Pos(),
+					Dynamic: callee.dynamic,
+				})
+			}
+			return true
+		})
+	}
+	// Reverse edges, deduplicated, in graph order.
+	seen := make(map[[2]*Node]bool)
+	for _, n := range g.nodes {
+		for _, e := range n.Out {
+			k := [2]*Node{e.Callee, n}
+			if !seen[k] {
+				seen[k] = true
+				e.Callee.In = append(e.Callee.In, n)
+			}
+		}
+	}
+	return g
+}
+
+// Nodes returns every node in deterministic order.
+func (g *CallGraph) Nodes() []*Node { return g.nodes }
+
+// NodeOf resolves a function object (generic origin or instantiation) to
+// its node, or nil for functions without a module body.
+func (g *CallGraph) NodeOf(f *types.Func) *Node {
+	if f == nil {
+		return nil
+	}
+	return g.byFunc[f.Origin()]
+}
+
+type resolvedCallee struct {
+	node    *Node
+	dynamic bool
+}
+
+// resolve maps one call expression to its module-internal targets.
+func (g *CallGraph) resolve(pkg *Package, call *ast.CallExpr) []resolvedCallee {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Direct call to a (possibly dot-imported or same-package)
+		// function.
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if n := g.NodeOf(f); n != nil {
+				return []resolvedCallee{{node: n}}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			recv := sel.Recv()
+			if iface, ok := recv.Underlying().(*types.Interface); ok {
+				return g.dispatch(iface, sel.Obj().Name())
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if n := g.NodeOf(f); n != nil {
+					return []resolvedCallee{{node: n}}
+				}
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F(...).
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := g.NodeOf(f); n != nil {
+				return []resolvedCallee{{node: n}}
+			}
+		}
+	}
+	return nil
+}
+
+// dispatch resolves an interface method call to every module-internal
+// implementation, bounded by dispatchBound (beyond it the site is
+// treated as opaque).
+func (g *CallGraph) dispatch(iface *types.Interface, meth string) []resolvedCallee {
+	key := implKey{iface, meth}
+	impls, ok := g.implCache[key]
+	if !ok {
+		for _, tn := range g.namedTypes {
+			t := tn.Type()
+			// Method sets of *T include T's methods, so checking the
+			// pointer type covers both receiver forms.
+			pt := types.NewPointer(t)
+			if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(pt).Lookup(nil, meth)
+			if sel == nil {
+				// Unexported method from another package, or a method
+				// set quirk; skip rather than guess.
+				continue
+			}
+			f, ok := sel.Obj().(*types.Func)
+			if !ok {
+				continue
+			}
+			if n := g.NodeOf(f); n != nil {
+				impls = append(impls, n)
+			}
+		}
+		if len(impls) > g.dispatchBound {
+			impls = nil // opaque: too many targets to reason about
+		}
+		g.implCache[key] = impls
+	}
+	out := make([]resolvedCallee, len(impls))
+	for i, n := range impls {
+		out[i] = resolvedCallee{node: n, dynamic: true}
+	}
+	return out
+}
+
+// Fixpoint drives a bottom-up summary propagation to stability: update
+// recomputes one node's summary from its callees' and reports whether it
+// changed; every caller of a changed node is revisited. Monotone updates
+// (summaries only grow) terminate even on recursion cycles — a cyclic
+// SCC just iterates until its members stop absorbing new facts.
+func (g *CallGraph) Fixpoint(update func(*Node) bool) {
+	queued := make(map[*Node]bool, len(g.nodes))
+	// Seed in reverse graph order so leaf-ish callees tend to settle
+	// before their callers — fewer requeues, same fixed point.
+	work := make([]*Node, 0, len(g.nodes))
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		work = append(work, g.nodes[i])
+		queued[g.nodes[i]] = true
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		if !update(n) {
+			continue
+		}
+		for _, caller := range n.In {
+			if !queued[caller] {
+				queued[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+// Internal tests for the call-graph builder: static resolution,
+// interface dispatch bounding (needs the unexported bound parameter),
+// and fixpoint termination over recursion cycles.
+
+import (
+	"sort"
+	"testing"
+)
+
+func loadCallgraphFixture(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load("testdata/src/callgraph")
+	if err != nil {
+		t.Fatalf("load callgraph fixture: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	return pkgs
+}
+
+func findNode(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	var names []string
+	for _, n := range g.Nodes() {
+		names = append(names, n.Name())
+	}
+	t.Fatalf("no node %q in graph; have %v", name, names)
+	return nil
+}
+
+func calleeNames(n *Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range n.Out {
+		name := e.Callee.Name()
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphStaticCalls(t *testing.T) {
+	g := BuildCallGraph(loadCallgraphFixture(t))
+	cases := []struct {
+		caller string
+		want   []string
+	}{
+		{"callgraph.Chain", []string{"callgraph.step1"}},
+		{"callgraph.step1", []string{"callgraph.step2"}},
+		{"callgraph.step2", nil},
+		{"callgraph.Bump", []string{"callgraph.(Counter).Inc"}},
+		{"callgraph.Mutual", []string{"callgraph.mutual2"}},
+		{"callgraph.mutual2", []string{"callgraph.Mutual"}},
+	}
+	for _, c := range cases {
+		got := calleeNames(findNode(t, g, c.caller))
+		if len(got) != len(c.want) {
+			t.Errorf("%s callees = %v, want %v", c.caller, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s callees = %v, want %v", c.caller, got, c.want)
+				break
+			}
+		}
+	}
+	// Reverse edges mirror the forward ones.
+	step1 := findNode(t, g, "callgraph.step1")
+	foundChain := false
+	for _, in := range step1.In {
+		if in.Name() == "callgraph.Chain" {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		t.Error("step1.In does not record Chain as a caller")
+	}
+}
+
+func TestCallGraphInterfaceDispatchBounded(t *testing.T) {
+	pkgs := loadCallgraphFixture(t)
+	cases := []struct {
+		bound       int
+		wantCallees []string
+	}{
+		// Bound at or above the three implementations: full fan-out.
+		{16, []string{"callgraph.(Bell).Ring", "callgraph.(Horn).Ring", "callgraph.(Siren).Ring"}},
+		{3, []string{"callgraph.(Bell).Ring", "callgraph.(Horn).Ring", "callgraph.(Siren).Ring"}},
+		// Below it: the site goes opaque rather than guessing.
+		{2, nil},
+	}
+	for _, c := range cases {
+		g := buildCallGraph(pkgs, c.bound)
+		d := findNode(t, g, "callgraph.Dispatch")
+		got := calleeNames(d)
+		if len(got) != len(c.wantCallees) {
+			t.Errorf("bound %d: Dispatch callees = %v, want %v", c.bound, got, c.wantCallees)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.wantCallees[i] {
+				t.Errorf("bound %d: Dispatch callees = %v, want %v", c.bound, got, c.wantCallees)
+				break
+			}
+		}
+		for _, e := range d.Out {
+			if !e.Dynamic {
+				t.Errorf("bound %d: dispatch edge to %s not marked Dynamic", c.bound, e.Callee.Name())
+			}
+		}
+	}
+}
+
+func TestCallGraphFixpointTerminatesOnRecursion(t *testing.T) {
+	g := BuildCallGraph(loadCallgraphFixture(t))
+	// Transitive reachability is the canonical monotone summary; the
+	// Mutual <-> mutual2 cycle must settle, not loop.
+	reach := map[*Node]map[*Node]bool{}
+	for _, n := range g.Nodes() {
+		reach[n] = map[*Node]bool{}
+	}
+	rounds := 0
+	g.Fixpoint(func(n *Node) bool {
+		rounds++
+		if rounds > 10*len(g.Nodes())*len(g.Nodes()) {
+			t.Fatalf("fixpoint not converging after %d rounds", rounds)
+		}
+		set := reach[n]
+		before := len(set)
+		for _, e := range n.Out {
+			set[e.Callee] = true
+			for m := range reach[e.Callee] {
+				set[m] = true
+			}
+		}
+		return len(set) != before
+	})
+	mutual := findNode(t, g, "callgraph.Mutual")
+	mutual2 := findNode(t, g, "callgraph.mutual2")
+	if !reach[mutual][mutual2] || !reach[mutual][mutual] {
+		t.Error("Mutual's reachability summary missing the recursion cycle members")
+	}
+	chain := findNode(t, g, "callgraph.Chain")
+	step2 := findNode(t, g, "callgraph.step2")
+	if !reach[chain][step2] {
+		t.Error("Chain's summary missing transitive callee step2")
+	}
+}

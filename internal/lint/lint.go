@@ -8,6 +8,13 @@
 // (ctxflow), and godoc-convention doc comments on the operator-facing
 // API surface (docstring).
 //
+// On top of those per-function checks sits an interprocedural layer: a
+// module-wide call graph (callgraph.go) with effect summaries propagated
+// to a fixed point, powering whole-program analyzers — global mutex
+// acquisition order (lockorder), goroutine join paths (goleak), the WAL
+// log-before-ack ingest contract (ackorder), and bidirectional agreement
+// between registered obs metrics and docs/OPERATIONS.md (metriccatalog).
+//
 // Everything is built on the standard library only (go/parser, go/types,
 // go/importer, go/token) — the module has zero dependencies and must stay
 // that way. A finding is suppressed by the comment
@@ -38,26 +45,31 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzer is one invariant check. Run inspects a single package through
-// the Pass and reports findings via Pass.Reportf.
+// Analyzer is one invariant check. Per-package analyzers set Run, which
+// inspects a single package through a Pass; whole-program analyzers set
+// RunModule instead, which sees every loaded package plus the module
+// call graph through a ModulePass. Exactly one of the two is non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //lint:ignore
 	// directives.
 	Name string
 	// Doc is the one-line description shown by `domdlint -list`.
 	Doc string
-	// AppliesTo optionally restricts the analyzer to some packages; nil
-	// means every package.
+	// AppliesTo optionally restricts a per-package analyzer to some
+	// packages; nil means every package. Module analyzers ignore it —
+	// they scope themselves.
 	AppliesTo func(pkgPath string) bool
 	// Run inspects one package.
 	Run func(p *Pass)
+	// RunModule inspects the whole module at once, with the call graph.
+	RunModule func(p *ModulePass)
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Lockguard, Detrange, Floateq, Walltime, Droppederr, Ctxflow,
-		Docstring,
+		Docstring, Lockorder, Goleak, Ackorder, Metriccatalog,
 	}
 }
 
@@ -114,25 +126,101 @@ func (p *Pass) TypeOf(expr ast.Expr) types.Type {
 	return nil
 }
 
+// ModulePass carries one whole-module analyzer run: every package a
+// single Load call produced (shared FileSet, one type-checker universe)
+// plus the call graph built over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Pkgs is every loaded package, in Load order.
+	Pkgs []*Package
+	// Graph is the module call graph, built once and shared by all
+	// module analyzers in the run.
+	Graph *CallGraph
+	// Fset is the shared FileSet (identical across Pkgs).
+	Fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at a source position in the loaded tree.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPosition(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosition records a finding at an explicit position — used for
+// findings anchored outside the Go tree (e.g. a stale row in a markdown
+// doc), where no token.Pos exists.
+func (p *ModulePass) ReportPosition(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is Pass.TypeOf for module analyzers: expression types resolved
+// through the owning package's Info.
+func (p *ModulePass) TypeOf(pkg *Package, expr ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
 // Run applies the analyzers to the packages and returns the surviving
 // diagnostics sorted by position, with //lint:ignore-suppressed and
-// duplicate findings removed.
+// duplicate findings removed. Module analyzers (RunModule) see all
+// packages at once; the call graph is built lazily, only when one is
+// selected.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	// Suppressions merged across packages: module analyzers report into
+	// any file of the tree, so the per-package scoping Run used to apply
+	// would miss directives for them.
+	ignores := ignoreSet{}
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
-		var pkgDiags []Diagnostic
+		for k := range collectIgnores(pkg) {
+			ignores[k] = true
+		}
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
 			a.Run(pass)
 		}
-		for _, d := range pkgDiags {
-			if !ignores.suppresses(d) {
-				diags = append(diags, d)
-			}
+	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, Fset: fset, diags: &raw}
+		a.RunModule(mp)
+	}
+	var diags []Diagnostic
+	for _, d := range raw {
+		if !ignores.suppresses(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -14,8 +14,8 @@ import (
 
 func TestLockguardFixture(t *testing.T) {
 	diags := lint.CheckFixture(t, "testdata/src/lockguard", lint.Lockguard)
-	if len(diags) != 4 {
-		t.Errorf("lockguard fixture: got %d diagnostics, want 4", len(diags))
+	if len(diags) != 5 {
+		t.Errorf("lockguard fixture: got %d diagnostics, want 5", len(diags))
 	}
 }
 
@@ -43,6 +43,67 @@ func TestDocstringFixture(t *testing.T) {
 	diags := lint.CheckFixture(t, "testdata/src/docstring/obs", lint.Docstring)
 	if len(diags) != 6 {
 		t.Errorf("docstring fixture: got %d diagnostics, want 6", len(diags))
+	}
+}
+
+// Whole-program analyzer fixtures: each rides the call-graph engine, so
+// the seeded violations are deliberately split across functions (and for
+// ackorder, across packages) such that no single-function analysis could
+// find them.
+
+func TestLockorderFixture(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/lockorder", lint.Lockorder)
+	if len(diags) != 1 {
+		t.Errorf("lockorder fixture: got %d diagnostics, want exactly 1 (one per cycle)", len(diags))
+	}
+}
+
+func TestGoleakFixture(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/goleak", lint.Goleak)
+	if len(diags) != 3 {
+		t.Errorf("goleak fixture: got %d diagnostics, want 3", len(diags))
+	}
+}
+
+func TestAckorderFixture(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/ackorder/...", lint.Ackorder)
+	if len(diags) != 3 {
+		t.Errorf("ackorder fixture: got %d diagnostics, want 3", len(diags))
+	}
+}
+
+func TestMetriccatalogUndocumentedMetricFails(t *testing.T) {
+	diags := lint.CheckFixture(t, "testdata/src/metriccatalog/undocumented/app", lint.Metriccatalog)
+	if len(diags) != 1 {
+		t.Errorf("metriccatalog undocumented fixture: got %d diagnostics, want 1", len(diags))
+	}
+}
+
+// TestMetriccatalogStaleDocRowFails covers the doc→code direction. The
+// finding is anchored in the markdown catalog, where `// want` comments
+// cannot live, so the assertions are direct.
+func TestMetriccatalogStaleDocRowFails(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src/metriccatalog/staledoc/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, []*lint.Analyzer{lint.Metriccatalog})
+	if len(diags) != 1 {
+		t.Fatalf("staledoc fixture: got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "metriccatalog" {
+		t.Errorf("diagnostic analyzer = %q, want metriccatalog", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "domd_fixture_ghost_total") ||
+		!strings.Contains(d.Message, "stale") {
+		t.Errorf("stale-row message missing the ghost metric: %s", d.Message)
+	}
+	if !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), "staledoc/docs/OPERATIONS.md") {
+		t.Errorf("stale-row finding anchored at %s, want the markdown catalog", d.Pos.Filename)
+	}
+	if d.Pos.Line != 6 {
+		t.Errorf("stale-row finding at line %d, want 6 (the ghost row)", d.Pos.Line)
 	}
 }
 
@@ -148,8 +209,8 @@ func TestRealTreeClean(t *testing.T) {
 // TestByName covers the analyzer-subset flag parsing of cmd/domdlint.
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
+	if err != nil || len(all) != 11 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 11, nil", len(all), err)
 	}
 	two, err := lint.ByName("floateq, walltime")
 	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "walltime" {

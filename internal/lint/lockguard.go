@@ -85,8 +85,17 @@ func collectGuards(p *Pass, f *ast.File, guards map[*types.Var]guardDecl, mutexe
 			return true
 		}
 		// Field objects by name, for resolving `guards a and b` lists.
+		// Embedded fields register under their promoted name so both a
+		// `guards` comment on the embedded mutex and a `guarded by Mutex`
+		// reference to it resolve.
 		fieldObj := map[string]*types.Var{}
 		for _, field := range st.Fields.List {
+			if len(field.Names) == 0 {
+				if v := embeddedFieldVar(owner, field); v != nil {
+					fieldObj[v.Name()] = v
+				}
+				continue
+			}
 			for _, name := range field.Names {
 				if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
 					fieldObj[name.Name] = v
@@ -95,10 +104,18 @@ func collectGuards(p *Pass, f *ast.File, guards map[*types.Var]guardDecl, mutexe
 		}
 		for _, field := range st.Fields.List {
 			text := strings.TrimSpace(field.Doc.Text() + " " + field.Comment.Text())
-			if text == "" || len(field.Names) == 0 {
+			if text == "" {
 				continue
 			}
-			self := fieldObj[field.Names[0].Name]
+			var self *types.Var
+			if len(field.Names) > 0 {
+				self = fieldObj[field.Names[0].Name]
+			} else {
+				// Embedded field (e.g. a bare `sync.Mutex // guards n`):
+				// there is no name Ident in Defs, so recover the implicit
+				// field var from the owner's struct type by position.
+				self = embeddedFieldVar(owner, field)
+			}
 			if self == nil {
 				continue
 			}
@@ -117,6 +134,23 @@ func collectGuards(p *Pass, f *ast.File, guards map[*types.Var]guardDecl, mutexe
 		}
 		return true
 	})
+}
+
+// embeddedFieldVar resolves the implicit *types.Var of an embedded
+// struct field by matching source positions against the owner's checked
+// struct type (the AST carries no name Ident for it).
+func embeddedFieldVar(owner *types.TypeName, field *ast.Field) *types.Var {
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		v := st.Field(i)
+		if v.Embedded() && field.Pos() <= v.Pos() && v.Pos() <= field.End() {
+			return v
+		}
+	}
+	return nil
 }
 
 // parseGuardList resolves the field names following `guards`, tolerating
@@ -159,15 +193,12 @@ func checkGuardedAccesses(p *Pass, fn *ast.FuncDecl, guards map[*types.Var]guard
 				}
 			}
 		case *ast.CallExpr:
-			// recv.mu.Lock() / recv.mu.RLock(): the inner selector names
-			// the mutex field.
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
-				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
-				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
-					if mu, ok := p.Pkg.Info.Uses[inner.Sel].(*types.Var); ok && mutexes[mu] {
-						locked[mu] = true
-					}
-				}
+			// recv.mu.Lock() / recv.mu.RLock(), or the promoted form
+			// t.Lock() on an embedded mutex — lockCallTarget resolves
+			// both to the declared mutex field.
+			if mu, _, op, ok := lockCallTarget(p.Pkg, x); ok &&
+				(op == "Lock" || op == "RLock") && mutexes[mu] {
+				locked[mu] = true
 			}
 		case *ast.CompositeLit:
 			if n, ok := namedOf(p.TypeOf(x)); ok {

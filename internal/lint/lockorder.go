@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder enforces a global mutex acquisition partial order across the
+// whole module: if any path acquires B while holding A, no path anywhere
+// may acquire A while holding B. The deadlock class this guards against
+// is exactly one refactor away from ShardedCatalog's scatter-gather —
+// today the fan-out is sequential, but the moment it goes parallel a
+// router-lock-then-shard-lock path racing a shard-lock-then-router-lock
+// path wedges the serving tier. Single-function analysis cannot see it:
+// each function takes one lock and calls a helper that takes the other,
+// so the cycle only exists on the call graph.
+//
+// Lock classes are declared mutexes — struct fields and package-level
+// variables of type sync.Mutex / sync.RWMutex. Two instances of the same
+// class (two shards) are exempt from the order graph: instance ranking
+// (e.g. by shard index) is a different protocol the analyzer does not
+// model. Function-local mutexes cannot participate in cross-function
+// cycles and are skipped. Goroutine bodies are walked with an empty held
+// set: a spawned goroutine does not inherit its parent's locks.
+var Lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition must follow one global order; flags cycles across the call graph",
+	RunModule: runLockorder,
+}
+
+// lockCallTarget classifies call as a sync.Mutex/RWMutex operation and
+// resolves the declared mutex variable behind it — the lock class. It
+// sees through embedding: for t.Lock() with an embedded sync.Mutex the
+// selection's index path leads to the promoted field. className is a
+// human-readable "Owner.mu" (or "pkg.mu" for package-level vars); op is
+// the method name (Lock, RLock, TryLock, TryRLock, Unlock, RUnlock).
+func lockCallTarget(pkg *Package, call *ast.CallExpr) (class *types.Var, className, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", "", false
+	}
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	m, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	if idx := selection.Index(); len(idx) > 1 {
+		// Promoted method: the receiver embeds the mutex (possibly
+		// through intermediate embedded structs); the index path walks
+		// field by field to it.
+		t := selection.Recv()
+		var fv *types.Var
+		for _, i := range idx[:len(idx)-1] {
+			st, isStruct := derefStruct(t)
+			if !isStruct || i >= st.NumFields() {
+				return nil, "", "", false
+			}
+			fv = st.Field(i)
+			t = fv.Type()
+		}
+		name := fv.Name()
+		if n, okN := namedOf(selection.Recv()); okN {
+			name = n.Obj().Name() + "." + name
+		}
+		return fv, name, op, true
+	}
+	// Unpromoted: the receiver expression itself denotes the mutex.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		v, isVar := pkg.Info.Uses[x.Sel].(*types.Var)
+		if !isVar {
+			return nil, "", "", false
+		}
+		name := v.Name()
+		if tv, okT := pkg.Info.Types[x.X]; okT {
+			if n, okN := namedOf(tv.Type); okN {
+				name = n.Obj().Name() + "." + name
+			}
+		} else if v.Pkg() != nil {
+			// pkgname.muVar.Lock(): qualify by package instead.
+			name = v.Pkg().Name() + "." + name
+		}
+		return v, name, op, true
+	case *ast.Ident:
+		v, isVar := pkg.Info.Uses[x].(*types.Var)
+		if !isVar {
+			return nil, "", "", false
+		}
+		name := v.Name()
+		if v.Pkg() != nil {
+			name = v.Pkg().Name() + "." + name
+		}
+		return v, name, op, true
+	}
+	return nil, "", "", false
+}
+
+// derefStruct unwraps a pointer and returns the underlying struct.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	s, isStruct := t.Underlying().(*types.Struct)
+	return s, isStruct
+}
+
+// classTrackable reports whether v can participate in a cross-function
+// lock cycle: struct fields and package-level variables qualify,
+// function locals do not.
+func classTrackable(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// inspectOutsideGo walks body in source order, skipping GoStmt subtrees —
+// the shape every summary computation wants, since effects inside a
+// spawned goroutine are concurrent with, not sequenced after, the
+// spawner's.
+func inspectOutsideGo(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+type lockPair struct{ from, to *types.Var }
+
+type lockOrderState struct {
+	pass *ModulePass
+	// acquires is the fixpoint summary: every lock class a function may
+	// take, directly or through callees (goroutine bodies excluded).
+	acquires map[*Node]map[*types.Var]bool
+	own      map[*Node]map[*types.Var]bool
+	calls    map[*Node][]*Node
+	names    map[*types.Var]string
+	// edges records "to acquired while from held", keyed to the
+	// lexically first site that witnesses the pair.
+	edges map[lockPair]token.Position
+}
+
+func runLockorder(p *ModulePass) {
+	st := &lockOrderState{
+		pass:     p,
+		acquires: map[*Node]map[*types.Var]bool{},
+		own:      map[*Node]map[*types.Var]bool{},
+		calls:    map[*Node][]*Node{},
+		names:    map[*types.Var]string{},
+		edges:    map[lockPair]token.Position{},
+	}
+	// Per-node base facts: directly acquired classes and resolved callees.
+	for _, n := range p.Graph.Nodes() {
+		node := n
+		ownSet := map[*types.Var]bool{}
+		inspectOutsideGo(node.Decl.Body, func(x ast.Node) bool {
+			call, isCall := x.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if class, name, op, isLock := lockCallTarget(node.Pkg, call); isLock {
+				if (op == "Unlock" || op == "RUnlock") || !classTrackable(class) {
+					return true
+				}
+				ownSet[class] = true
+				st.names[class] = name
+				return true
+			}
+			for _, rc := range p.Graph.resolve(node.Pkg, call) {
+				st.calls[node] = append(st.calls[node], rc.node)
+			}
+			return true
+		})
+		st.own[node] = ownSet
+		st.acquires[node] = map[*types.Var]bool{}
+	}
+	// Fixpoint: acquires(f) = own(f) ∪ ⋃ acquires(callee). Monotone, so
+	// recursion cycles settle instead of looping.
+	p.Graph.Fixpoint(func(n *Node) bool {
+		set := st.acquires[n]
+		before := len(set)
+		for c := range st.own[n] {
+			set[c] = true
+		}
+		for _, callee := range st.calls[n] {
+			for c := range st.acquires[callee] {
+				set[c] = true
+			}
+		}
+		return len(set) != before
+	})
+	// Held-set walk: re-traverse each body tracking which classes are
+	// held, emitting an order edge for every acquisition (direct or via
+	// a callee's summary) under a held lock of a different class.
+	for _, n := range p.Graph.Nodes() {
+		st.walkHeld(n, n.Decl.Body, map[*types.Var]bool{})
+	}
+	st.reportCycles()
+}
+
+// walkHeld traverses body in source order with the current held set —
+// a linear approximation (branch effects leak forward), which
+// over-approximates edges but never misses one on straight-line code.
+func (st *lockOrderState) walkHeld(n *Node, body ast.Node, held map[*types.Var]bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			// Concurrent execution: the goroutine starts with no
+			// inherited locks, and its internal order edges are its own.
+			st.walkHeld(n, x.Call, map[*types.Var]bool{})
+			return false
+		case *ast.DeferStmt:
+			if _, _, op, isLock := lockCallTarget(n.Pkg, x.Call); isLock &&
+				(op == "Unlock" || op == "RUnlock") {
+				// defer mu.Unlock(): held for the rest of the body.
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if class, name, op, isLock := lockCallTarget(n.Pkg, x); isLock {
+				if !classTrackable(class) {
+					return true
+				}
+				switch op {
+				case "Unlock", "RUnlock":
+					delete(held, class)
+				default:
+					st.names[class] = name
+					for h := range held {
+						st.edge(h, class, n.Pkg.Fset.Position(x.Pos()))
+					}
+					held[class] = true
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			for _, rc := range st.pass.Graph.resolve(n.Pkg, x) {
+				for c := range st.acquires[rc.node] {
+					for h := range held {
+						st.edge(h, c, n.Pkg.Fset.Position(x.Pos()))
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// edge records from→to at the lexically first witnessing site; same-class
+// pairs are exempt (instance ordering is out of scope).
+func (st *lockOrderState) edge(from, to *types.Var, site token.Position) {
+	if from == to {
+		return
+	}
+	k := lockPair{from, to}
+	if prev, seen := st.edges[k]; !seen || positionLess(site, prev) {
+		st.edges[k] = site
+	}
+}
+
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// reportCycles finds strongly connected components of the class order
+// graph and emits one diagnostic per cyclic component, anchored at the
+// lexically first edge inside it.
+func (st *lockOrderState) reportCycles() {
+	if len(st.edges) == 0 {
+		return
+	}
+	// Deterministic class ordering for the SCC walk.
+	classSet := map[*types.Var]bool{}
+	for k := range st.edges {
+		classSet[k.from] = true
+		classSet[k.to] = true
+	}
+	classes := make([]*types.Var, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		return st.names[classes[i]] < st.names[classes[j]]
+	})
+	succ := map[*types.Var][]*types.Var{}
+	for _, from := range classes {
+		for _, to := range classes {
+			if _, has := st.edges[lockPair{from, to}]; has {
+				succ[from] = append(succ[from], to)
+			}
+		}
+	}
+	for _, scc := range tarjanSCC(classes, succ) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[*types.Var]bool{}
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		// The anchor edge: lexically first among the component's edges.
+		var anchor lockPair
+		var anchorPos token.Position
+		for k, pos := range st.edges {
+			if !inSCC[k.from] || !inSCC[k.to] {
+				continue
+			}
+			if anchorPos.Filename == "" || positionLess(pos, anchorPos) {
+				anchor, anchorPos = k, pos
+			}
+		}
+		names := make([]string, 0, len(scc))
+		for _, c := range scc {
+			names = append(names, st.names[c])
+		}
+		sort.Strings(names)
+		detail := ""
+		if rev, has := st.edges[lockPair{anchor.to, anchor.from}]; has {
+			detail = fmt.Sprintf("; the reverse order is taken at %s", rev)
+		}
+		st.pass.ReportPosition(anchorPos,
+			"lock order cycle: %s acquired while holding %s%s (cycle members: %s); acquire them in one global order",
+			st.names[anchor.to], st.names[anchor.from], detail,
+			strings.Join(names, ", "))
+	}
+}
+
+// tarjanSCC computes strongly connected components in deterministic
+// order (classes and successors are pre-sorted by the caller).
+func tarjanSCC(nodes []*types.Var, succ map[*types.Var][]*types.Var) [][]*types.Var {
+	index := map[*types.Var]int{}
+	lowlink := map[*types.Var]int{}
+	onStack := map[*types.Var]bool{}
+	var stack []*types.Var
+	var out [][]*types.Var
+	next := 0
+	var strong func(v *types.Var)
+	strong = func(v *types.Var) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Metriccatalog enforces bidirectional agreement between the metrics the
+// code registers and the operator catalog in docs/OPERATIONS.md: every
+// obs.New* registration with a domd_* name must appear in the doc, and
+// every domd_* name the doc mentions must have a registration. One
+// direction catches metrics operators cannot discover; the other catches
+// stale rows operators would page on. This replaces the metric-name grep
+// that used to live in scripts/check_docs.sh with a type-checked walk of
+// the actual registration sites.
+//
+// A registration is a call to a New{Counter,Gauge,Histogram}{,Vec}
+// function declared in an obs package (path segment "obs") whose
+// arguments include a domd_* string constant. The doc is discovered per
+// package by walking up from the package directory to the module root,
+// taking the first docs/OPERATIONS.md — so fixture trees carry their own
+// catalog and the real tree resolves to the repository's. The stale-row
+// direction requires at least one registration in view: a partial load
+// that includes none of the registering packages skips it instead of
+// declaring the whole catalog dead.
+var Metriccatalog = &Analyzer{
+	Name:      "metriccatalog",
+	Doc:       "obs metric registrations and docs/OPERATIONS.md must agree in both directions",
+	RunModule: runMetriccatalog,
+}
+
+var metricNameRe = regexp.MustCompile(`^domd_[a-z0-9_]*[a-z0-9]$`)
+var docMetricRe = regexp.MustCompile(`domd_[a-z0-9_]*[a-z0-9]`)
+
+// registration is one code-side metric registration site.
+type registration struct {
+	name string
+	pos  token.Pos
+	pkg  *Package
+}
+
+func runMetriccatalog(p *ModulePass) {
+	// Group loaded packages by the catalog document that governs them;
+	// packages with no reachable docs/OPERATIONS.md (fixture trees for
+	// other analyzers, repos without the doc) are out of scope.
+	byDoc := map[string][]*Package{}
+	for _, pkg := range p.Pkgs {
+		if doc := findOperationsDoc(pkg.Dir); doc != "" {
+			byDoc[doc] = append(byDoc[doc], pkg)
+		}
+	}
+	docs := make([]string, 0, len(byDoc))
+	for doc := range byDoc {
+		docs = append(docs, doc)
+	}
+	sort.Strings(docs)
+
+	for _, doc := range docs {
+		var regs []registration
+		for _, pkg := range byDoc[doc] {
+			regs = append(regs, collectRegistrations(pkg)...)
+		}
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			// The doc vanished between discovery and read; surface it at
+			// the first registration rather than silently passing.
+			if len(regs) > 0 {
+				p.Reportf(regs[0].pos, "metric catalog %s is unreadable: %v", doc, err)
+			}
+			continue
+		}
+		documented := map[string]int{} // name -> first line
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, name := range docMetricRe.FindAllString(line, -1) {
+				if _, seen := documented[name]; !seen {
+					documented[name] = i + 1
+				}
+			}
+		}
+		registered := map[string]bool{}
+		for _, r := range regs {
+			registered[r.name] = true
+			if _, inDoc := documented[r.name]; !inDoc {
+				p.Reportf(r.pos,
+					"metric %s is registered but not documented in %s: operators cannot discover it",
+					r.name, doc)
+			}
+		}
+		// The stale-row direction only makes sense when the loaded package
+		// set can actually see registrations: on a partial load (domdlint
+		// pointed at a subtree with no metric-registering package), every
+		// doc row would look stale. Zero registrations under the doc means
+		// "insufficient view", not "dead catalog" — skip the direction
+		// rather than spray false positives. Full-module runs (make lint,
+		// CI, TestRealTreeClean) always load the registering packages.
+		if len(regs) == 0 {
+			continue
+		}
+		stale := make([]string, 0)
+		for name := range documented {
+			if !registered[name] {
+				stale = append(stale, name)
+			}
+		}
+		sort.Strings(stale)
+		for _, name := range stale {
+			p.ReportPosition(token.Position{Filename: doc, Line: documented[name], Column: 1},
+				"metric %s is documented but no code registers it: stale catalog row",
+				name)
+		}
+	}
+}
+
+// findOperationsDoc walks up from dir to the module root looking for
+// docs/OPERATIONS.md, returning the first hit ("" if none).
+func findOperationsDoc(dir string) string {
+	d := dir
+	for {
+		candidate := filepath.Join(d, "docs", "OPERATIONS.md")
+		if fi, err := os.Stat(candidate); err == nil && !fi.IsDir() {
+			return candidate
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// collectRegistrations finds every obs.New* call with a domd_* name
+// constant in the package.
+func collectRegistrations(pkg *Package) []registration {
+	var out []registration
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			call, isCall := x.(*ast.CallExpr)
+			if !isCall || !isObsConstructor(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, has := pkg.Info.Types[arg]
+				if !has || tv.Value == nil || tv.Value.Kind() != constant.String {
+					continue
+				}
+				name := constant.StringVal(tv.Value)
+				if metricNameRe.MatchString(name) {
+					out = append(out, registration{name: name, pos: arg.Pos(), pkg: pkg})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// obsConstructors are the registry entry points whose string arguments
+// name metrics.
+var obsConstructors = map[string]bool{
+	"NewCounter": true, "NewCounterVec": true,
+	"NewGauge": true, "NewGaugeVec": true,
+	"NewHistogram": true, "NewHistogramVec": true,
+}
+
+// isObsConstructor reports whether call invokes a metric constructor
+// declared in an obs package — a package-level New* function or the
+// equivalent Registry method.
+func isObsConstructor(pkg *Package, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return false
+	}
+	f, isFunc := obj.(*types.Func)
+	if !isFunc || f.Pkg() == nil {
+		return false
+	}
+	return obsConstructors[f.Name()] && pathHasSegment(f.Pkg().Path(), "obs")
+}

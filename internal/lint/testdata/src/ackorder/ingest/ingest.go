@@ -1,0 +1,95 @@
+// Package ingest seeds log-before-ack violations: dedup state recorded
+// or a 2xx response written before the WAL append completes. The bad
+// shapes reproduce the crash window the PR-4 durability contract closed
+// — an acknowledged record the log never saw.
+package ingest
+
+import (
+	"net/http"
+
+	"domd/internal/lint/testdata/src/ackorder/wal"
+)
+
+// Store owns a WAL handle, which makes its other fields durable ack
+// state in the analyzer's model.
+type Store struct {
+	log  *wal.Log
+	seen map[string]bool
+}
+
+// Open constructs the store and replays prior state; constructor
+// functions are exempt (state restored from the log cannot outrun it).
+func Open(l *wal.Log) *Store {
+	s := &Store{log: l, seen: map[string]bool{}}
+	s.seen["restored"] = true
+	return s
+}
+
+// Ingest is the correct order: append, then record the dedup key.
+func (s *Store) Ingest(key string, p []byte) error {
+	if s.seen[key] {
+		return nil
+	}
+	if err := s.log.Append(p); err != nil {
+		return err
+	}
+	s.seen[key] = true
+	return nil
+}
+
+// IngestEarlyMark records the key before the append — a crash between
+// the two acks a record the log never saw.
+func (s *Store) IngestEarlyMark(key string, p []byte) error {
+	s.seen[key] = true // want `durable dedup/ack state mutated before the WAL append`
+	return s.log.Append(p)
+}
+
+// mark hides the mutation behind a helper.
+func (s *Store) mark(key string) {
+	s.seen[key] = true
+}
+
+// IngestViaHelper is the same violation split across the call graph:
+// only the helper's effect summary exposes it.
+func (s *Store) IngestViaHelper(key string, p []byte) error {
+	s.mark(key) // want `durable dedup/ack state mutated \(via callee\) before the WAL append`
+	return s.log.Append(p)
+}
+
+// writeJSON mirrors the server helper: the status flows through to
+// WriteHeader, so constant-2xx call sites are acks.
+func writeJSON(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+// HandleEarlyAck writes the success status before appending.
+func (s *Store) HandleEarlyAck(w http.ResponseWriter, p []byte) {
+	writeJSON(w, http.StatusOK) // want `2xx response written before the WAL append`
+	if err := s.log.Append(p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable)
+	}
+}
+
+// Handle is the correct order: append, ack on success, 5xx on failure.
+func (s *Store) Handle(w http.ResponseWriter, p []byte) {
+	if err := s.log.Append(p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK)
+}
+
+// HandleDup acks a duplicate without appending: the early-return branch
+// ends the path, so the 2xx there never precedes an append.
+func (s *Store) HandleDup(w http.ResponseWriter, key string, p []byte) {
+	if s.seen[key] {
+		writeJSON(w, http.StatusOK)
+		return
+	}
+	if err := s.log.Append(p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable)
+		return
+	}
+	s.seen[key] = true
+	writeJSON(w, http.StatusOK)
+}

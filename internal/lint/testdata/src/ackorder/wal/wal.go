@@ -1,0 +1,16 @@
+// Package wal is a minimal stand-in for the real write-ahead log: the
+// ackorder analyzer recognizes Append on a Log type declared in any
+// package with a "wal" path segment, so this fixture exercises the same
+// resolution the production internal/wal package does.
+package wal
+
+// Log is the fixture write-ahead log.
+type Log struct {
+	records [][]byte
+}
+
+// Append durably records one payload.
+func (l *Log) Append(p []byte) error {
+	l.records = append(l.records, p)
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package callgraph is the builder's test fixture: static call chains,
+// a three-implementation interface for dispatch bounding, mutual
+// recursion for fixpoint termination, and a pointer-receiver method
+// call. No `// want` comments — callgraph_test.go asserts the graph
+// structure directly.
+package callgraph
+
+// Chain -> step1 -> step2 is the static-call spine.
+func Chain() { step1() }
+
+func step1() { step2() }
+
+func step2() {}
+
+// Ringer has three module-internal implementations, so a dispatch bound
+// below three must drop the r.Ring() site entirely.
+type Ringer interface{ Ring() }
+
+// Bell implements Ringer with a value receiver.
+type Bell struct{}
+
+// Ring implements Ringer.
+func (Bell) Ring() {}
+
+// Horn implements Ringer with a pointer receiver.
+type Horn struct{}
+
+// Ring implements Ringer.
+func (*Horn) Ring() {}
+
+// Siren implements Ringer with a value receiver.
+type Siren struct{}
+
+// Ring implements Ringer.
+func (Siren) Ring() {}
+
+// Dispatch fans out to every Ringer implementation.
+func Dispatch(r Ringer) { r.Ring() }
+
+// Mutual and mutual2 form a recursion cycle; summary propagation must
+// reach a fixed point over it rather than loop.
+func Mutual(n int) {
+	if n > 0 {
+		mutual2(n - 1)
+	}
+}
+
+func mutual2(n int) { Mutual(n - 1) }
+
+// Counter exercises concrete method-call resolution.
+type Counter struct{ n int }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Bump calls a method through a pointer receiver.
+func Bump(c *Counter) { c.Inc() }

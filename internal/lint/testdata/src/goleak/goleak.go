@@ -1,0 +1,88 @@
+// Package goleak seeds goroutines with and without join paths. The
+// leaking shapes reproduce the pre-fix pprof listener in cmd/domd serve
+// and the loadgen self-serve listener: a `go func()` whose body only
+// calls into unresolvable code, with no WaitGroup, channel, or context
+// tying it to its spawner.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak has no join path at all.
+func leak() {
+	go func() { // want `goroutine started with no join or cancellation path`
+		work()
+	}()
+}
+
+// serveLeak mirrors the pre-fix pprof/loadgen listener: the body only
+// calls an opaque serve function and inspects its error.
+func serveLeak(addr string) {
+	go func() { // want `goroutine started with no join or cancellation path`
+		_ = listen(addr)
+	}()
+}
+
+func listen(addr string) error { return nil }
+
+// spawnNamed leaks through a named function with no effects.
+func spawnNamed() {
+	go runner() // want `goroutine started with no join or cancellation path`
+}
+
+func runner() { work() }
+
+// joinedWG signals a WaitGroup: joined.
+func joinedWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// joinedChan sends a completion signal: joined.
+func joinedChan() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		work()
+		ch <- 1
+	}()
+	return ch
+}
+
+// joinedCtx observes cancellation: joined.
+func joinedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// joinedTransitive signals through a helper — only the call graph sees
+// the WaitGroup.
+func joinedTransitive(wg *sync.WaitGroup) {
+	go func() {
+		signal(wg)
+	}()
+}
+
+func signal(wg *sync.WaitGroup) { wg.Done() }
+
+// joinedNamed spawns a named function whose summary carries the
+// WaitGroup effect.
+func joinedNamed(wg *sync.WaitGroup) {
+	go done(wg)
+}
+
+func done(wg *sync.WaitGroup) { wg.Done() }
+
+// joinedByArg passes a cancellation handle into the spawn.
+func joinedByArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {}

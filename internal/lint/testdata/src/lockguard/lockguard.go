@@ -77,6 +77,27 @@ func (s *Slot) Suppressed() int {
 	return s.val
 }
 
+// Gauge embeds its mutex and locks through the promoted methods. Before
+// the embedded-field fix the `guards` comment below was silently dropped
+// (no name Ident to resolve), so BadTotal went unflagged and GoodTotal's
+// promoted g.Lock() was invisible to the checker.
+type Gauge struct {
+	sync.Mutex // guards total
+	total      int
+}
+
+// BadTotal reads the guarded field without the promoted lock.
+func (g *Gauge) BadTotal() int {
+	return g.total // want `Gauge\.total is guarded by Mutex; BadTotal accesses it without locking`
+}
+
+// GoodTotal acquires via the promoted method: clean.
+func (g *Gauge) GoodTotal() int {
+	g.Lock()
+	defer g.Unlock()
+	return g.total
+}
+
 // bump is a lock-held helper. Callers hold s.mu, so the unlocked access
 // is their obligation, not bump's.
 func (s *Slot) bump() {

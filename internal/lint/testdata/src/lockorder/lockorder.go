@@ -1,0 +1,74 @@
+// Package lockorder seeds a two-mutex acquisition cycle that no single
+// function exhibits: AddShard holds the router lock and calls a helper
+// that takes a shard lock, while Rebalance holds a shard lock and calls
+// a helper that takes the router lock. Each function alone sees one
+// Lock call; only the call graph sees the cycle — the deadlock shape a
+// parallel ShardedCatalog scatter-gather would be exposed to.
+package lockorder
+
+import "sync"
+
+// Router mirrors the sharded serving tier's top-level structure.
+type Router struct {
+	mu     sync.Mutex
+	shards []*Shard
+	size   int
+}
+
+// Shard is one partition with its own lock.
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// AddShard locks the router and reaches into a shard via bump:
+// Router.mu → Shard.mu.
+func (r *Router) AddShard(s *Shard) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shards = append(r.shards, s)
+	s.bump() // want `lock order cycle`
+}
+
+func (s *Shard) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Rebalance locks a shard and calls back into the router:
+// Shard.mu → Router.mu — the reverse order, invisible intraprocedurally.
+func (s *Shard) Rebalance(r *Router) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.resize()
+}
+
+func (r *Router) resize() {
+	r.mu.Lock()
+	r.size++
+	r.mu.Unlock()
+}
+
+// regMu orders consistently before Router.mu everywhere: part of the
+// same graph, but acyclic — no diagnostic.
+var regMu sync.Mutex
+
+// Record takes regMu then the router lock; one global order, fine.
+func Record(r *Router) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	r.resize()
+}
+
+// Move locks two instances of the same class. Same-class pairs are
+// exempt from the order graph (instance ranking is a separate protocol),
+// so this is not a self-cycle.
+func Move(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n += a.n
+	a.n = 0
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,11 @@
+// Package app seeds the doc→code direction of metriccatalog: the
+// sibling docs/OPERATIONS.md documents a metric nothing registers, so
+// the stale row must be flagged (at the markdown file, which is why
+// this tree is asserted directly in lint_test.go rather than through
+// `// want` comments).
+package app
+
+import "domd/internal/obs"
+
+var mOK = obs.NewCounter("domd_fixture_ok_total",
+	"The only metric this tree registers.")

@@ -1,0 +1,13 @@
+// Package app seeds the code→doc direction of metriccatalog: it
+// registers one metric the sibling docs/OPERATIONS.md documents and one
+// it does not.
+package app
+
+import "domd/internal/obs"
+
+var (
+	mOK = obs.NewCounter("domd_fixture_ok_total",
+		"Documented in the fixture catalog: no finding.")
+	mOrphan = obs.NewCounter("domd_fixture_orphan_total", // want `domd_fixture_orphan_total is registered but not documented`
+		"Missing from the fixture catalog: undocumented-metric finding.")
+)
