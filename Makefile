@@ -5,7 +5,7 @@ GO ?= go
 STRESS_COUNT ?= 3
 STRESS_TIMEOUT ?= 10m
 
-.PHONY: build vet test race stress chaos lint docs differential check bench
+.PHONY: build vet test race stress chaos chaos-repl lint docs differential check bench
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,20 @@ chaos:
 	$(GO) test -race -timeout $(STRESS_TIMEOUT) \
 		-run 'Chaos|Fault|Torn|Recovery|Durable|Injected|Fire|Arm|Enable|Reset' \
 		./internal/wal/ ./internal/statusq/ ./internal/server/ ./internal/faultinject/
+
+# chaos-repl runs the replication-specific chaos suite under the race
+# detector: quorum append/ack ordering, follower faults with bounded
+# catch-up, quorum-loss refusal (no ack ever escapes), primary failover
+# replayed through the dedup index, reopen repair of torn, diverged, and
+# lost replica tails, kill-primary-mid-WAL crash recovery at the sharded
+# tier, the health-ladder/breaker path at the HTTP tier (all replicas
+# down serves stale while /readyz reports failed), and the
+# replicated-vs-serial differential (see docs/OPERATIONS.md
+# "Replication").
+chaos-repl:
+	$(GO) test -race -timeout $(STRESS_TIMEOUT) \
+		-run 'ChaosRepl|Replicated|Rewind|Quorum' \
+		./internal/wal/ ./internal/statusq/ ./internal/server/
 
 # lint runs domdlint, the project's invariant analyzers (internal/lint):
 # the per-function checks (lockguard, detrange, floateq, walltime,
@@ -77,7 +91,7 @@ differential:
 # invariants (domdlint must exit 0 on the tree) and the docs
 # cross-checks.
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) differential && $(MAKE) lint && $(MAKE) docs
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) stress && $(MAKE) chaos && $(MAKE) chaos-repl && $(MAKE) differential && $(MAKE) lint && $(MAKE) docs
 
 # bench runs the Go micro-benchmarks (including the statusq
 # ApplyRCC-vs-rebuild pair backing DESIGN.md §4.3), then the loadgen

@@ -323,6 +323,9 @@ func runServe(args []string) {
 	fsyncEvery := fs.Int("fsync-every", 64, "records between fsyncs when -fsync=every")
 	walCompactEvery := fs.Int("wal-compact-every", 1024, "ingests between WAL snapshots (0 disables auto-compaction)")
 	shards := fs.Int("shards", 1, "partition the catalog into N consistent-hash shards, each with its own WAL subdirectory (requires -wal-dir; topology is pinned on first open)")
+	repl := fs.Int("repl", 1, "replicate each shard's WAL across N directories, acknowledging ingests at quorum (requires -wal-dir; pinned on first open)")
+	replQuorum := fs.Int("repl-quorum", 0, "replicas that must append before an ingest is acknowledged (0: majority of -repl)")
+	replLagMax := fs.Int("repl-lag-max", wal.DefaultReplMaxLag, "records a replica may fall behind before it is failed out of async catch-up (revived by the next snapshot)")
 	dedupCap := fs.Int("dedup-cap", statusq.DefaultDedupCap, "max idempotency keys tracked per catalog shard (negative: unbounded)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiles on this address (empty: disabled; keep it loopback-only)")
 	quiet := fs.Bool("quiet", false, "disable per-request trace logging")
@@ -351,6 +354,15 @@ func runServe(args []string) {
 	if *shards > 1 && *walDir == "" {
 		log.Fatal("-shards requires -wal-dir (each shard owns a WAL subdirectory)")
 	}
+	if *repl < 1 {
+		log.Fatal("-repl must be at least 1")
+	}
+	if *repl > 1 && *walDir == "" {
+		log.Fatal("-repl requires -wal-dir (each replica owns a WAL directory)")
+	}
+	if *replQuorum < 0 || *replQuorum > *repl {
+		log.Fatalf("-repl-quorum %d out of range [0, %d]", *replQuorum, *repl)
+	}
 	var catalog server.Catalog
 	var closeCatalog func() error
 	if *walDir != "" {
@@ -362,8 +374,14 @@ func runServe(args []string) {
 			WAL:          wal.Options{Policy: policy, Every: *fsyncEvery},
 			CompactEvery: *walCompactEvery,
 			DedupCap:     *dedupCap,
+			Replicas:     *repl,
+			ReplQuorum:   *replQuorum,
+			ReplMaxLag:   *replLagMax,
 		}
-		if *shards > 1 {
+		// Replication always routes through the sharded tier (a 1-shard
+		// tier is fine): that is where the per-shard health ladder,
+		// circuit breaker, and /readyz rows live.
+		if *shards > 1 || *repl > 1 {
 			sc, info, err := statusq.OpenSharded(*walDir, *shards, avails, rccs, index.KindAVL, dopts)
 			if err != nil {
 				log.Fatal(err)
@@ -377,6 +395,18 @@ func runServe(args []string) {
 				if sh.Info.Recovery.TornTail {
 					log.Printf("  shard %d: torn tail repaired at offset %d (%d bytes dropped)",
 						sh.Shard, sh.Info.Recovery.TornOffset, sh.Info.Recovery.TornBytes)
+				}
+				if sh.Info.Repl != nil {
+					for _, rp := range sh.Info.Repl.Replicas {
+						switch {
+						case rp.Failed:
+							log.Printf("  shard %d: replica %s failed to open or repair", sh.Shard, rp.Dir)
+						case rp.Rebuilt:
+							log.Printf("  shard %d: replica %s rebuilt from the authoritative replica", sh.Shard, rp.Dir)
+						case rp.CaughtUp > 0:
+							log.Printf("  shard %d: replica %s caught up %d records", sh.Shard, rp.Dir, rp.CaughtUp)
+						}
+					}
 				}
 			}
 			catalog = sc // server.New wires sc as the Ingester too

@@ -21,16 +21,28 @@ import (
 // calling an Ingest that appends, or an ingest method whose dedup-mark
 // helper runs before the append.
 //
-// Durable state is defined structurally: any struct with a field of
-// type *Log from a wal package (path segment "wal") is a durable owner,
-// and its other fields are ack state. Structs without a WAL handle —
-// like the server's in-memory fallback ingester — acknowledge without
-// durability by design and are exempt. Functions that construct the
-// durable owner (composite literal) are exempt too: restore/replay
-// populates state from the log rather than ahead of it.
+// Durable state is defined structurally: any struct with a WAL-handle
+// field is a durable owner, and its other fields are ack state. A WAL
+// handle is a Log or ReplicatedLog declared in a package with a "wal"
+// path segment, or an interface that declares Append and is satisfied
+// by one of those (the shape statusq's durableLog narrows the WAL to).
+// Structs without a WAL handle — like the server's in-memory fallback
+// ingester — acknowledge without durability by design and are exempt.
+// Functions that construct the durable owner (composite literal) are
+// exempt too: restore/replay populates state from the log rather than
+// ahead of it.
+//
+// Replication moves the durability point (PR-9): when an owner holds a
+// replica set — several handle fields, or a slice of handles — one
+// member's append is not durability, quorum confirmation is. Appending
+// to a single member leaves the record quorum-pending; a 2xx response
+// or durable-state mutation while quorum is pending is flagged even if
+// no further append follows on that path. The fan-out — appends issued
+// by ranging over the replica-set field — is the point where the
+// pending quorum resolves.
 var Ackorder = &Analyzer{
 	Name:      "ackorder",
-	Doc:       "no 2xx ack or durable-state mutation may precede the WAL append (log-before-ack)",
+	Doc:       "no 2xx ack or durable-state mutation may precede the WAL append, or quorum confirmation on a replicated set (log-before-ack)",
 	RunModule: runAckorder,
 }
 
@@ -38,22 +50,37 @@ var Ackorder = &Analyzer{
 type ackEffects uint8
 
 const (
-	ackMayAppend      ackEffects = 1 << iota // may reach wal Log.Append
-	ackMayWriteHeader                        // may reach ResponseWriter.WriteHeader
-	ackMayAck2xx                             // may write a constant-2xx response
-	ackMayMutate                             // may mutate durable ack state
+	ackMayAppend       ackEffects = 1 << iota // may reach a wal-handle Append
+	ackMayWriteHeader                         // may reach ResponseWriter.WriteHeader
+	ackMayAck2xx                              // may write a constant-2xx response
+	ackMayMutate                              // may mutate durable ack state
+	ackMayMemberAppend                        // may append to one member of a quorum replica set
+	ackMayQuorumAppend                        // may run the quorum fan-out over a replica set
 )
 
 type ackState struct {
 	pass *ModulePass
-	// durableFields maps each ack-state field (fields of a struct that
-	// also holds a *wal.Log) to true.
+	// walLogs are the concrete wal log types (Log, ReplicatedLog) used
+	// to decide which Append-declaring interfaces count as WAL handles.
+	walLogs []types.Type
+	// durableFields maps each ack-state field (non-handle fields of a
+	// struct that also holds a WAL handle) to true.
 	durableFields map[*types.Var]bool
 	// durableOwners are the structs holding a WAL handle, for the
 	// constructor exemption.
 	durableOwners map[*types.TypeName]bool
-	calls         map[*Node][]callSite
-	summary       map[*Node]ackEffects
+	// quorumMembers are scalar handle fields of quorum owners (e.g. a
+	// primary): appending through one leaves quorum pending.
+	quorumMembers map[*types.Var]bool
+	// quorumSets are slice/array-of-handle fields of quorum owners (the
+	// follower set): ranging over one and appending is the fan-out that
+	// confirms quorum.
+	quorumSets map[*types.Var]bool
+	// fanouts are the source spans of range-statement bodies iterating a
+	// quorum set, per function: appends inside them are quorum appends.
+	fanouts map[*Node][][2]token.Pos
+	calls   map[*Node][]callSite
+	summary map[*Node]ackEffects
 }
 
 type callSite struct {
@@ -66,6 +93,9 @@ func runAckorder(p *ModulePass) {
 		pass:          p,
 		durableFields: map[*types.Var]bool{},
 		durableOwners: map[*types.TypeName]bool{},
+		quorumMembers: map[*types.Var]bool{},
+		quorumSets:    map[*types.Var]bool{},
+		fanouts:       map[*Node][][2]token.Pos{},
 		calls:         map[*Node][]callSite{},
 		summary:       map[*Node]ackEffects{},
 	}
@@ -73,9 +103,14 @@ func runAckorder(p *ModulePass) {
 	for _, n := range p.Graph.Nodes() {
 		node := n
 		inspectOutsideGo(node.Decl.Body, func(x ast.Node) bool {
-			if call, isCall := x.(*ast.CallExpr); isCall {
-				for _, rc := range p.Graph.resolve(node.Pkg, call) {
-					st.calls[node] = append(st.calls[node], callSite{rc.node, call.Pos()})
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				for _, rc := range p.Graph.resolve(node.Pkg, x) {
+					st.calls[node] = append(st.calls[node], callSite{rc.node, x.Pos()})
+				}
+			case *ast.RangeStmt:
+				if st.isQuorumSetExpr(node.Pkg, x.X) {
+					st.fanouts[node] = append(st.fanouts[node], [2]token.Pos{x.Body.Pos(), x.Body.End()})
 				}
 			}
 			return true
@@ -102,7 +137,8 @@ func runAckorder(p *ModulePass) {
 	p.Graph.Fixpoint(func(n *Node) bool {
 		eff := st.summary[n] | st.ownOrderEffects(n)
 		for _, c := range st.calls[n] {
-			eff |= st.summary[c.callee] & (ackMayAppend | ackMayAck2xx | ackMayMutate)
+			eff |= st.summary[c.callee] &
+				(ackMayAppend | ackMayAck2xx | ackMayMutate | ackMayMemberAppend | ackMayQuorumAppend)
 		}
 		if eff == st.summary[n] {
 			return false
@@ -119,9 +155,30 @@ func runAckorder(p *ModulePass) {
 	}
 }
 
-// collectDurable finds every struct holding a *wal.Log and marks its
-// other fields as durable ack state.
+// collectDurable finds every struct holding a WAL handle and marks its
+// other fields as durable ack state. Owners whose handles form a
+// replica set — several scalar handles, or a slice of handles — are
+// quorum owners: their handle fields feed the member/fan-out
+// classification.
 func (st *ackState) collectDurable() {
+	// Pass 1: the concrete wal log types, so Append-declaring interfaces
+	// can be tested against them.
+	for _, pkg := range st.pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType || tn.IsAlias() || tn.Pkg() == nil {
+				continue
+			}
+			if (tn.Name() == "Log" || tn.Name() == "ReplicatedLog") &&
+				pathHasSegment(tn.Pkg().Path(), "wal") {
+				if _, isStruct := tn.Type().Underlying().(*types.Struct); isStruct {
+					st.walLogs = append(st.walLogs, tn.Type())
+				}
+			}
+		}
+	}
+	// Pass 2: durable owners and their field roles.
 	for _, pkg := range st.pass.Pkgs {
 		scope := pkg.Types.Scope()
 		for _, name := range scope.Names() {
@@ -133,39 +190,87 @@ func (st *ackState) collectDurable() {
 			if !isStruct {
 				continue
 			}
-			logIdx := -1
+			var handles, sets []int
 			for i := 0; i < str.NumFields(); i++ {
-				if isWALLog(str.Field(i).Type()) {
-					logIdx = i
-					break
+				switch t := str.Field(i).Type(); {
+				case st.isWALHandle(t):
+					handles = append(handles, i)
+				case st.isWALHandleSlice(t):
+					sets = append(sets, i)
 				}
 			}
-			if logIdx < 0 {
+			if len(handles)+len(sets) == 0 {
 				continue
 			}
 			st.durableOwners[tn] = true
-			for i := 0; i < str.NumFields(); i++ {
-				if i == logIdx {
-					continue
+			quorum := len(sets) > 0 || len(handles) >= 2
+			walField := map[int]bool{}
+			for _, i := range handles {
+				walField[i] = true
+				if quorum {
+					st.quorumMembers[str.Field(i)] = true
 				}
-				st.durableFields[str.Field(i)] = true
+			}
+			for _, i := range sets {
+				walField[i] = true
+				if quorum {
+					st.quorumSets[str.Field(i)] = true
+				}
+			}
+			for i := 0; i < str.NumFields(); i++ {
+				if !walField[i] {
+					st.durableFields[str.Field(i)] = true
+				}
 			}
 		}
 	}
 }
 
-// isWALLog reports whether t is (a pointer to) a named type Log declared
-// in a package with a "wal" path segment.
-func isWALLog(t types.Type) bool {
-	n, isNamed := namedOf(t)
-	if !isNamed || n.Obj().Pkg() == nil {
+// isWALHandle reports whether t is (a pointer to) a wal log type — Log
+// or ReplicatedLog declared in a package with a "wal" path segment — or
+// an interface that declares Append and is satisfied by one.
+func (st *ackState) isWALHandle(t types.Type) bool {
+	if n, isNamed := namedOf(t); isNamed && n.Obj().Pkg() != nil &&
+		(n.Obj().Name() == "Log" || n.Obj().Name() == "ReplicatedLog") &&
+		pathHasSegment(n.Obj().Pkg().Path(), "wal") {
+		return true
+	}
+	iface, isIface := t.Underlying().(*types.Interface)
+	if !isIface {
 		return false
 	}
-	return n.Obj().Name() == "Log" && pathHasSegment(n.Obj().Pkg().Path(), "wal")
+	declaresAppend := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Append" {
+			declaresAppend = true
+			break
+		}
+	}
+	if !declaresAppend {
+		return false
+	}
+	for _, log := range st.walLogs {
+		if types.Implements(types.NewPointer(log), iface) {
+			return true
+		}
+	}
+	return false
 }
 
-// isWALAppend reports whether call invokes Append on a wal Log.
-func isWALAppend(pkg *Package, call *ast.CallExpr) bool {
+// isWALHandleSlice reports whether t is a slice or array of WAL handles
+// (a replica set).
+func (st *ackState) isWALHandleSlice(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return st.isWALHandle(u.Elem())
+	case *types.Array:
+		return st.isWALHandle(u.Elem())
+	}
+	return false
+}
+
+// isWALAppend reports whether call invokes Append on a WAL handle.
+func (st *ackState) isWALAppend(pkg *Package, call *ast.CallExpr) bool {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel || sel.Sel.Name != "Append" {
 		return false
@@ -174,7 +279,48 @@ func isWALAppend(pkg *Package, call *ast.CallExpr) bool {
 	if selection == nil || selection.Kind() != types.MethodVal {
 		return false
 	}
-	return isWALLog(selection.Recv())
+	return st.isWALHandle(selection.Recv())
+}
+
+// isQuorumSetExpr reports whether e selects a quorum replica-set field
+// (the `s.followers` in `for _, f := range s.followers`).
+func (st *ackState) isQuorumSetExpr(pkg *Package, e ast.Expr) bool {
+	sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	v, isVar := pkg.Info.Uses[sel.Sel].(*types.Var)
+	return isVar && st.quorumSets[v]
+}
+
+// classifyAppend refines a WAL append at pos in n: a quorum fan-out
+// append (inside a range over the replica set), a member append
+// (through a scalar handle field or one indexed element of the set), or
+// a plain single-log append.
+func (st *ackState) classifyAppend(n *Node, call *ast.CallExpr) ackEffects {
+	for _, span := range st.fanouts[n] {
+		if span[0] <= call.Pos() && call.Pos() < span[1] {
+			return ackMayAppend | ackMayQuorumAppend
+		}
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	recv := ast.Unparen(sel.X)
+	for {
+		switch x := recv.(type) {
+		case *ast.IndexExpr:
+			recv = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			recv = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			if v, isVar := n.Pkg.Info.Uses[x.Sel].(*types.Var); isVar &&
+				(st.quorumMembers[v] || st.quorumSets[v]) {
+				return ackMayAppend | ackMayMemberAppend
+			}
+			return ackMayAppend
+		default:
+			return ackMayAppend
+		}
+	}
 }
 
 // isWriteHeader reports whether call is ResponseWriter.WriteHeader (any
@@ -206,8 +352,8 @@ func (st *ackState) ownOrderEffects(n *Node) ackEffects {
 	inspectOutsideGo(n.Decl.Body, func(x ast.Node) bool {
 		switch x := x.(type) {
 		case *ast.CallExpr:
-			if isWALAppend(n.Pkg, x) {
-				eff |= ackMayAppend
+			if st.isWALAppend(n.Pkg, x) {
+				eff |= st.classifyAppend(n, x)
 			}
 			if st.isAck2xx(n, x) {
 				eff |= ackMayAck2xx
@@ -307,10 +453,14 @@ type pendingEffect struct {
 // ackWalker re-walks one body in source order carrying the pending
 // effects; an append reports and clears them, a return discards them
 // (that path ended without appending, so nothing was mis-ordered).
+// quorumPending tracks the replicated variant: a member append leaves
+// the record awaiting quorum, and any ack before the fan-out resolves
+// it is reported immediately — even when no further append follows.
 type ackWalker struct {
-	st      *ackState
-	node    *Node
-	pending []pendingEffect
+	st            *ackState
+	node          *Node
+	pending       []pendingEffect
+	quorumPending bool
 }
 
 func (w *ackWalker) walk(body ast.Node) {
@@ -325,6 +475,7 @@ func (w *ackWalker) walk(body ast.Node) {
 				w.walk(res)
 			}
 			w.pending = nil
+			w.quorumPending = false
 			return false
 		case *ast.CallExpr:
 			w.visitCall(x)
@@ -332,13 +483,13 @@ func (w *ackWalker) walk(body ast.Node) {
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {
 				if w.st.mutatesDurable(w.node.Pkg, lhs) {
-					w.pend(lhs.Pos(), "durable dedup/ack state mutated")
+					w.ack(lhs.Pos(), "durable dedup/ack state mutated")
 				}
 			}
 			return true
 		case *ast.IncDecStmt:
 			if w.st.mutatesDurable(w.node.Pkg, x.X) {
-				w.pend(x.Pos(), "durable dedup/ack state mutated")
+				w.ack(x.Pos(), "durable dedup/ack state mutated")
 			}
 			return true
 		}
@@ -352,28 +503,49 @@ func (w *ackWalker) visitCall(call *ast.CallExpr) {
 	for _, rc := range w.st.pass.Graph.resolve(pkg, call) {
 		calleeEff |= w.st.summary[rc.node]
 	}
-	if isWALAppend(pkg, call) || calleeEff&ackMayAppend != 0 {
+	if w.st.isWALAppend(pkg, call) {
+		calleeEff |= w.st.classifyAppend(w.node, call)
+	}
+	if calleeEff&ackMayAppend != 0 {
 		for _, pe := range w.pending {
 			w.st.pass.Reportf(pe.pos,
 				"%s before the WAL append at %s completes (log-before-ack): a crash in between acks a record the log never saw",
 				pe.desc, pkg.Fset.Position(call.Pos()))
 		}
 		w.pending = nil
+		switch {
+		case calleeEff&ackMayQuorumAppend != 0:
+			// The fan-out confirms quorum: the record is durable.
+			w.quorumPending = false
+		case calleeEff&ackMayMemberAppend != 0:
+			// One member of a replica set appended: durable only there,
+			// quorum still outstanding.
+			w.quorumPending = true
+		}
 		return
 	}
 	if w.st.isAck2xx(w.node, call) {
-		w.pend(call.Pos(), "2xx response written")
+		w.ack(call.Pos(), "2xx response written")
 		return
 	}
 	if calleeEff&ackMayAck2xx != 0 {
-		w.pend(call.Pos(), "2xx response written (via callee)")
+		w.ack(call.Pos(), "2xx response written (via callee)")
 		return
 	}
 	if calleeEff&ackMayMutate != 0 {
-		w.pend(call.Pos(), "durable dedup/ack state mutated (via callee)")
+		w.ack(call.Pos(), "durable dedup/ack state mutated (via callee)")
 	}
 }
 
-func (w *ackWalker) pend(pos token.Pos, desc string) {
+// ack handles one acknowledgment-like effect: while quorum is pending
+// it is a violation right here (the fan-out may never run on this
+// path); otherwise it joins the pending set awaiting a later append.
+func (w *ackWalker) ack(pos token.Pos, desc string) {
+	if w.quorumPending {
+		w.st.pass.Reportf(pos,
+			"%s after a member append but before the quorum fan-out confirms it (quorum-ack): losing that one member loses an acknowledged record",
+			desc)
+		return
+	}
 	w.pending = append(w.pending, pendingEffect{pos, desc})
 }

@@ -67,8 +67,8 @@ func TestGoleakFixture(t *testing.T) {
 
 func TestAckorderFixture(t *testing.T) {
 	diags := lint.CheckFixture(t, "testdata/src/ackorder/...", lint.Ackorder)
-	if len(diags) != 3 {
-		t.Errorf("ackorder fixture: got %d diagnostics, want 3", len(diags))
+	if len(diags) != 7 {
+		t.Errorf("ackorder fixture: got %d diagnostics, want 7 (3 log-before-ack, 4 quorum-ack)", len(diags))
 	}
 }
 

@@ -1,0 +1,114 @@
+// Package repl seeds quorum-ack violations: a Store journaling to a
+// replicated WAL set (a primary plus a follower slice) whose durability
+// point is the quorum fan-out, not the first member append. Acking —
+// writing a 2xx or recording dedup state — after only the primary has
+// the record reproduces the PR-9 failover hazard: lose that one member
+// and an acknowledged record is gone.
+package repl
+
+import (
+	"net/http"
+
+	"domd/internal/lint/testdata/src/ackorder/wal"
+)
+
+// Store owns a replica set: the scalar primary handle plus the follower
+// slice make it a quorum owner, so member appends leave quorum pending.
+type Store struct {
+	primary   *wal.Log
+	followers []*wal.Log
+	seen      map[string]bool
+}
+
+// Open constructs the store; constructor functions are exempt (state
+// restored during replay cannot outrun the logs).
+func Open(primary *wal.Log, followers []*wal.Log) *Store {
+	s := &Store{primary: primary, followers: followers, seen: map[string]bool{}}
+	s.seen["restored"] = true
+	return s
+}
+
+// writeJSON mirrors the server helper: the status flows through to
+// WriteHeader, so constant-2xx call sites are acks.
+func writeJSON(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+// Ingest is the correct order: primary append, fan-out over every
+// follower, and only then the dedup mark and the 2xx.
+func (s *Store) Ingest(w http.ResponseWriter, key string, p []byte) {
+	if s.seen[key] {
+		writeJSON(w, http.StatusOK)
+		return
+	}
+	if err := s.primary.Append(p); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable)
+		return
+	}
+	for _, f := range s.followers {
+		if err := f.Append(p); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable)
+			return
+		}
+	}
+	s.seen[key] = true
+	writeJSON(w, http.StatusOK)
+}
+
+// IngestEarlyAck acks as soon as the primary has the record, before the
+// follower fan-out runs.
+func (s *Store) IngestEarlyAck(w http.ResponseWriter, p []byte) {
+	err := s.primary.Append(p)
+	writeJSON(w, http.StatusOK) // want `2xx response written after a member append but before the quorum fan-out`
+	if err == nil {
+		for _, f := range s.followers {
+			_ = f.Append(p)
+		}
+	}
+}
+
+// IngestNoFanout records the dedup key after only the primary append —
+// and never replicates at all, so no later append can excuse the mark.
+func (s *Store) IngestNoFanout(key string, p []byte) error {
+	err := s.primary.Append(p)
+	s.seen[key] = true // want `durable dedup/ack state mutated after a member append but before the quorum fan-out`
+	return err
+}
+
+// IngestMarkBeforeQuorum marks the key between the primary append and
+// the fan-out: flagged even though the fan-out does follow.
+func (s *Store) IngestMarkBeforeQuorum(key string, p []byte) error {
+	err := s.primary.Append(p)
+	s.seen[key] = true // want `durable dedup/ack state mutated after a member append but before the quorum fan-out`
+	for _, f := range s.followers {
+		if err == nil {
+			err = f.Append(p)
+		}
+	}
+	return err
+}
+
+// appendPrimary hides the member append behind a helper.
+func (s *Store) appendPrimary(p []byte) error {
+	return s.primary.Append(p)
+}
+
+// replicate hides the quorum fan-out behind a helper.
+func (s *Store) replicate(p []byte) error {
+	for _, f := range s.followers {
+		if err := f.Append(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestViaHelpers is the early ack split across the call graph: only
+// the helpers' effect summaries expose the member/fan-out ordering.
+func (s *Store) IngestViaHelpers(w http.ResponseWriter, p []byte) {
+	err := s.appendPrimary(p)
+	writeJSON(w, http.StatusOK) // want `2xx response written after a member append but before the quorum fan-out`
+	if err == nil {
+		_ = s.replicate(p)
+	}
+}

@@ -23,7 +23,7 @@ type Endpoint struct {
 func Endpoints() []Endpoint {
 	return []Endpoint{
 		{"GET", "/healthz", "", "liveness probe: 200 while the process is up (bypasses load shedding)"},
-		{"GET", "/readyz", "", "readiness probe: 200 once the catalog is restored and the WAL is open, else 503 (bypasses load shedding)"},
+		{"GET", "/readyz", "", "readiness probe: per-shard health + replication lag JSON; 503 when unready or any shard is failed with no promotable replica (bypasses load shedding)"},
 		{"GET", "/avails", "", "list every avail: id, ship, status, planned/actual dates, realized delay"},
 		{"GET", "/query", "avail=ID&date=YYYY-MM-DD", "DoMD estimate for one avail, with stale/asOf degraded-answer markers"},
 		{"GET", "/fleet", "date=YYYY-MM-DD", "DoMD estimates for every ongoing avail, bounded-parallel, per-avail error isolation"},

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// seedEWMA stamps the server's latency EWMA directly, bypassing the
+// smoothing, so table cases can pin the formula against exact means.
+func seedEWMA(s *Server, mean float64) {
+	if mean != 0 {
+		s.latEWMA.Store(math.Float64bits(mean))
+	}
+}
+
+// TestRetryAfterBounds pins the load-derived Retry-After formula:
+// ceil(mean latency × in-flight depth / capacity), clamped to [1, 60].
+func TestRetryAfterBounds(t *testing.T) {
+	cases := []struct {
+		name     string
+		mean     float64 // seeded EWMA seconds; 0 leaves it unseeded
+		capacity int     // limiter capacity; 0 disables the limiter
+		depth    int     // requests parked in flight
+		want     string
+	}{
+		{"unseeded idle server", 0, 8, 0, "1"},
+		{"no limiter configured", 2.5, 0, 0, "1"},
+		{"fast idle server", 0.5, 8, 0, "1"},
+		{"half-full backlog drains fast", 2.0, 4, 2, "1"},
+		{"saturated", 2.0, 4, 4, "2"},
+		{"saturated with slow requests", 10, 2, 2, "10"},
+		{"fractional backlog rounds up", 1.5, 4, 3, "2"},
+		{"hint capped at a minute", 120, 4, 4, "60"},
+		{"capacity-one limiter", 3, 1, 1, "3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Server{}
+			if tc.capacity > 0 {
+				s.inflight = make(chan struct{}, tc.capacity)
+				for i := 0; i < tc.depth; i++ {
+					s.inflight <- struct{}{}
+				}
+			}
+			seedEWMA(s, tc.mean)
+			if got := s.retryAfterSeconds(); got != tc.want {
+				t.Fatalf("retryAfterSeconds(mean=%v, depth=%d/%d) = %q, want %q",
+					tc.mean, tc.depth, tc.capacity, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNoteLatencySeedsAndSmooths pins the EWMA fold: the first sample
+// seeds the average verbatim, later samples blend in with alpha 1/8.
+func TestNoteLatencySeedsAndSmooths(t *testing.T) {
+	s := &Server{}
+	s.noteLatency(4.0)
+	if got := math.Float64frombits(s.latEWMA.Load()); got != 4.0 {
+		t.Fatalf("first sample seeded EWMA to %v, want 4.0", got)
+	}
+	s.noteLatency(12.0)
+	want := 4.0 + (12.0-4.0)/8
+	if got := math.Float64frombits(s.latEWMA.Load()); got != want {
+		t.Fatalf("EWMA after second sample = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentRetryAfterEWMA hammers the lock-free latency EWMA from
+// writer goroutines while readers derive Retry-After hints, proving (under
+// -race) the CAS loop is sound and every observed hint stays in bounds.
+func TestConcurrentRetryAfterEWMA(t *testing.T) {
+	s := &Server{inflight: make(chan struct{}, 4)}
+	for i := 0; i < 4; i++ {
+		s.inflight <- struct{}{} // fully saturated: hint tracks the mean
+	}
+	const writers, readers, iters = 8, 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.noteLatency(float64(1 + (w+i)%5)) // samples in [1, 5]
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v, err := strconv.Atoi(s.retryAfterSeconds())
+				if err != nil || v < 1 || v > maxRetryAfterSeconds {
+					t.Errorf("concurrent retryAfterSeconds = %d (err %v), want [1, %d]", v, err, maxRetryAfterSeconds)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every sample was in [1, 5], so the converged mean — and therefore
+	// the saturated hint ceil(mean) — must be too.
+	if mean := math.Float64frombits(s.latEWMA.Load()); mean < 1 || mean > 5 {
+		t.Fatalf("EWMA converged to %v, outside the sample range [1, 5]", mean)
+	}
+	if v, err := strconv.Atoi(s.retryAfterSeconds()); err != nil || v < 1 || v > 5 {
+		t.Fatalf("final saturated hint = %d (err %v), want [1, 5]", v, err)
+	}
+}

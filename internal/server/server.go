@@ -464,15 +464,80 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// HealthReporter is implemented by ingesters that expose per-shard
+// health (statusq.ShardedCatalog): /readyz folds the rows into its JSON
+// body so operators and load balancers see which shard is unhealthy,
+// not just that one is.
+type HealthReporter interface {
+	// ShardHealths reports one row per shard; see
+	// statusq.ShardedCatalog.ShardHealths.
+	ShardHealths() []statusq.ShardHealthStatus
+}
+
+// readyShardView is one shard's row in the /readyz body.
+type readyShardView struct {
+	Shard       int    `json:"shard"`
+	State       string `json:"state"`
+	Replicas    int    `json:"replicas"`
+	Live        int    `json:"live"`
+	Lag         uint64 `json:"lag"`
+	Promotable  bool   `json:"promotable"`
+	BreakerOpen bool   `json:"breaker_open,omitempty"`
+}
+
+// readyView is the /readyz body. Shards is present only when the
+// ingester reports per-shard health, so unsharded deployments keep the
+// plain {"status":"ready"} contract.
+type readyView struct {
+	Status string           `json:"status"`
+	Error  string           `json:"error,omitempty"`
+	Shards []readyShardView `json:"shards,omitempty"`
+}
+
 // handleReady distinguishes "process up" from "safe to send traffic":
 // ready means the catalog is restored and the WAL (when configured) is
 // open for acknowledgments. Deployments point load balancers here.
+// Status contract: 503 when the ingester reports unready or any shard
+// is failed with no promotable replica (appends there cannot be
+// acknowledged at all); 200 otherwise, with status "degraded" when a
+// shard is impaired but the tier still acknowledges everywhere.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	view := readyView{Status: "ready"}
+	status := http.StatusOK
 	if err := s.ingester.Ready(); err != nil {
-		s.writeErr(w, r, http.StatusServiceUnavailable, err)
-		return
+		view.Status = "unready"
+		view.Error = err.Error()
+		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
+	if hr, ok := s.ingester.(HealthReporter); ok {
+		rows := hr.ShardHealths()
+		view.Shards = make([]readyShardView, len(rows))
+		for i, row := range rows {
+			view.Shards[i] = readyShardView{
+				Shard:       row.Shard,
+				State:       row.State.String(),
+				Replicas:    row.Replicas,
+				Live:        row.Live,
+				Lag:         row.Lag,
+				Promotable:  row.Promotable,
+				BreakerOpen: row.BreakerOpen,
+			}
+			switch {
+			case row.State == statusq.ShardFailed && !row.Promotable:
+				// No replica can take acknowledgments for this shard's
+				// keyspace: traffic must drain elsewhere.
+				if status == http.StatusOK {
+					view.Status = "unready"
+					status = http.StatusServiceUnavailable
+				}
+			case row.State != statusq.ShardHealthy:
+				if view.Status == "ready" {
+					view.Status = "degraded"
+				}
+			}
+		}
+	}
+	s.writeJSON(w, r, status, view)
 }
 
 // availView is the /avails row.
@@ -613,11 +678,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // fleetRow is one /fleet entry; failed avails carry an error message so one
 // unqueryable avail doesn't hide the rest of the fleet. Result rows carry
-// the same "stale"/"asOf" degraded-answer markers as /query.
+// the same "stale"/"asOf" degraded-answer markers as /query, plus a
+// "degraded" flag when the owning shard's health ladder is below healthy
+// (the answer may be correct-but-stale while the shard recovers).
 type fleetRow struct {
-	AvailID int        `json:"avail_id"`
-	Result  *queryView `json:"result,omitempty"`
-	Error   string     `json:"error,omitempty"`
+	AvailID  int        `json:"avail_id"`
+	Degraded bool       `json:"degraded,omitempty"`
+	Result   *queryView `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// availHealth is implemented by catalogs that can resolve an avail to
+// its owning shard's health (statusq.ShardedCatalog); /fleet uses it to
+// annotate rows served by degraded or failed shards.
+type availHealth interface {
+	HealthForAvail(id int) statusq.ShardHealth
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -626,6 +701,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
+	ah, _ := s.catalog.(availHealth)
 	ids := s.catalog.OngoingIDs()
 	rows := make([]fleetRow, len(ids)) // non-nil: no ongoing avails encodes []
 	sem := make(chan struct{}, s.fleetPar)
@@ -642,6 +718,9 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 				rows[i].Error = err.Error()
 			} else {
 				rows[i].Result = view
+			}
+			if ah != nil && ah.HealthForAvail(id) != statusq.ShardHealthy {
+				rows[i].Degraded = true
 			}
 		}()
 	}

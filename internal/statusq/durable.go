@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -41,11 +43,42 @@ type walState struct {
 // strings at typical key lengths, per catalog (per shard when sharded).
 const DefaultDedupCap = 1 << 16
 
+// durableLog is the durability surface Ingest acknowledges through —
+// either a single write-ahead log (*wal.Log) or a quorum-acked replica
+// set (*wal.ReplicatedLog). Append-before-ack semantics are identical;
+// the replicated form simply requires a quorum of disks instead of one.
+type durableLog interface {
+	Append(payload []byte) (seq uint64, err error)
+	Snapshot(payload []byte) error
+	Seq() uint64
+	Close() error
+}
+
+// replProbe is the read-only replication status surface a replicated
+// log exposes (nil on a single-log catalog). Split from durableLog so
+// the health plumbing cannot accidentally become a second append path.
+type replProbe interface {
+	Status() []wal.ReplicaStatus
+	Lag() uint64
+	QuorumLive() bool
+}
+
 // DurableOptions tune a DurableCatalog.
 type DurableOptions struct {
 	// WAL configures the underlying log, most importantly the fsync
 	// policy (wal.SyncAlways for crash-proof acknowledgments).
 	WAL wal.Options
+	// Replicas is the number of WAL replica directories per catalog
+	// (per shard when sharded); values <= 1 mean a single unreplicated
+	// log. With N > 1, appends fan out to <dir>/replica-00 ..
+	// <dir>/replica-0(N-1) and acknowledge at ReplQuorum.
+	Replicas int
+	// ReplQuorum is the replica acks required before Ingest
+	// acknowledges; 0 means majority.
+	ReplQuorum int
+	// ReplMaxLag bounds the in-memory catch-up window per replica set;
+	// 0 means wal.DefaultReplMaxLag.
+	ReplMaxLag int
 	// CompactEvery writes a snapshot and truncates the log after this
 	// many ingested records since the last snapshot; <= 0 disables
 	// auto-compaction (Compact can still be called manually).
@@ -79,8 +112,12 @@ func (o DurableOptions) dedupCap() int {
 // tables.
 type RestoreInfo struct {
 	// Recovery is the raw WAL-level recovery report (snapshot sequence,
-	// replayed records, torn-tail cut).
+	// replayed records, torn-tail cut). Under replication it is the
+	// authoritative replica's report.
 	Recovery wal.RecoveryInfo
+	// Repl reports how a replicated WAL reconciled its replica set on
+	// open (nil on a single-log catalog).
+	Repl *wal.ReplRecovery
 	// Restored counts delta RCCs re-applied from snapshot + log.
 	Restored int
 	// Duplicates counts replayed entries skipped because their
@@ -101,7 +138,8 @@ type RestoreInfo struct {
 // Read and query methods are the embedded Catalog's.
 type DurableCatalog struct {
 	*Catalog
-	log  *wal.Log
+	log  durableLog
+	repl replProbe // non-nil iff the log is replicated
 	opts DurableOptions
 
 	// open flips false on Close; Ready gates /readyz on it.
@@ -134,17 +172,41 @@ func OpenDurable(dir string, avails []domain.Avail, rccs []domain.RCC, kind inde
 	if err != nil {
 		return nil, nil, err
 	}
-	log, rec, err := wal.Open(dir, opts.WAL)
-	if err != nil {
+	if err := checkReplLayout(dir, opts.Replicas); err != nil {
 		return nil, nil, err
+	}
+	var (
+		log  durableLog
+		repl replProbe
+		rec  *wal.Recovered
+		rep  *wal.ReplRecovery
+	)
+	if opts.Replicas > 1 {
+		rl, r, rp, rerr := wal.OpenReplicated(wal.ReplicaDirs(dir, opts.Replicas), wal.ReplicatedOptions{
+			Quorum: opts.ReplQuorum,
+			MaxLag: opts.ReplMaxLag,
+			Name:   filepath.Base(dir),
+			Log:    opts.WAL,
+		})
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		log, repl, rec, rep = rl, rl, r, rp
+	} else {
+		l, r, oerr := wal.Open(dir, opts.WAL)
+		if oerr != nil {
+			return nil, nil, oerr
+		}
+		log, rec = l, r
 	}
 	d := &DurableCatalog{
 		Catalog: cat,
 		log:     log,
+		repl:    repl,
 		opts:    opts,
 		seen:    make(map[string]bool),
 	}
-	info := &RestoreInfo{Recovery: rec.Info}
+	info := &RestoreInfo{Recovery: rec.Info, Repl: rep}
 
 	var entries []walEntry
 	if rec.Snapshot != nil {
@@ -232,8 +294,32 @@ func (d *DurableCatalog) DedupTracked() int {
 }
 
 // closeBestEffort closes a log whose contents we are abandoning anyway.
-func closeBestEffort(log *wal.Log) {
+func closeBestEffort(log durableLog) {
 	log.Close() //lint:ignore droppederr best-effort close on an already-failing open path
+}
+
+// checkReplLayout refuses to open a WAL directory whose on-disk layout
+// disagrees with the requested replica count: a single-log directory
+// reopened with -repl would silently abandon wal.log, and a replicated
+// directory reopened without -repl would abandon every replica. Changing
+// the replica count of a populated root is an operator migration, not a
+// flag flip.
+func checkReplLayout(dir string, replicas int) error {
+	singleLog := fileExists(filepath.Join(dir, "wal.log")) || fileExists(filepath.Join(dir, "snapshot.wal"))
+	replicated := fileExists(filepath.Join(dir, "replica-00"))
+	if replicas > 1 && singleLog {
+		return fmt.Errorf("statusq: WAL dir %s holds an unreplicated log; enabling replication on it would orphan its records (migrate to a fresh root)", dir)
+	}
+	if replicas <= 1 && replicated {
+		return fmt.Errorf("statusq: WAL dir %s holds a replicated log; opening it unreplicated would orphan its replicas (pass the original -repl)", dir)
+	}
+	return nil
+}
+
+// fileExists reports whether path exists (file or directory).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // ErrNotReady is returned by Ready once the durable catalog is closed.
@@ -377,4 +463,41 @@ func (d *DurableCatalog) Close() error {
 		return nil
 	}
 	return d.log.Close()
+}
+
+// ReplHealth summarizes a replicated catalog's replica set.
+type ReplHealth struct {
+	// Replicas is the configured replica count.
+	Replicas int
+	// Live, Lagging, and Failed count replicas in each state.
+	Live    int
+	Lagging int
+	Failed  int
+	// Lag is the records the most-behind non-failed replica is missing.
+	Lag uint64
+	// QuorumOK reports whether enough replicas are live to acknowledge
+	// an append right now.
+	QuorumOK bool
+}
+
+// ReplHealth reports the replica set's state; ok is false on an
+// unreplicated catalog.
+func (d *DurableCatalog) ReplHealth() (h ReplHealth, ok bool) {
+	if d.repl == nil {
+		return ReplHealth{}, false
+	}
+	for _, st := range d.repl.Status() {
+		h.Replicas++
+		switch st.State {
+		case wal.ReplLive:
+			h.Live++
+		case wal.ReplLagging:
+			h.Lagging++
+		default:
+			h.Failed++
+		}
+	}
+	h.Lag = d.repl.Lag()
+	h.QuorumOK = d.repl.QuorumLive()
+	return h, true
 }

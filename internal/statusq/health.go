@@ -1,0 +1,186 @@
+package statusq
+
+import (
+	"errors"
+	"sync"
+)
+
+// Per-shard health machinery for the sharded router: a three-state
+// health ladder (healthy → degraded → failed) driven by ingest/storage
+// outcomes and replica-set status, plus a count-based circuit breaker
+// that stops hammering a failed shard's disks while still probing for
+// recovery. Everything here is deliberately wall-clock-free (counts,
+// not timers): the statusq pipeline must stay deterministic under test
+// and replay, so recovery is driven by traffic, not elapsed time.
+
+// ShardHealth is a shard's position on the healthy → degraded → failed
+// ladder.
+type ShardHealth int
+
+const (
+	// ShardHealthy means ingests acknowledge normally and (when
+	// replicated) every replica is live.
+	ShardHealthy ShardHealth = iota
+	// ShardDegraded means the shard still acknowledges but something is
+	// off: recent storage errors, or a replica lagging/failed.
+	ShardDegraded
+	// ShardFailed means the shard cannot acknowledge ingests (quorum
+	// lost, or persistent storage errors); reads serve from memory,
+	// marked stale.
+	ShardFailed
+)
+
+// String names the state for logs, metrics, and /readyz rows.
+func (h ShardHealth) String() string {
+	switch h {
+	case ShardHealthy:
+		return "healthy"
+	case ShardDegraded:
+		return "degraded"
+	case ShardFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+const (
+	// DegradeAfterFailures consecutive storage failures demote a shard
+	// to degraded.
+	DegradeAfterFailures = 2
+	// FailAfterFailures consecutive storage failures demote a shard to
+	// failed even when quorum is nominally intact.
+	FailAfterFailures = 5
+)
+
+// healthTracker is one shard's health state machine. Transitions are
+// driven by noteIngest outcomes; the current replica-set status is
+// folded in on every read so /readyz sees a quorum loss even on an idle
+// shard.
+type healthTracker struct {
+	mu          sync.Mutex // guards consecFails
+	consecFails int
+}
+
+// noteIngest records one ingest storage outcome (ok=false only for
+// storage-level failures — validation rejects are not health signals).
+func (t *healthTracker) noteIngest(ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ok {
+		t.consecFails = 0
+	} else {
+		t.consecFails++
+	}
+}
+
+// state folds the failure streak and the shard's current replica status
+// into a health state.
+func (t *healthTracker) state(repl ReplHealth, replicated bool) ShardHealth {
+	t.mu.Lock()
+	fails := t.consecFails
+	t.mu.Unlock()
+	if replicated && !repl.QuorumOK {
+		return ShardFailed
+	}
+	if fails >= FailAfterFailures {
+		return ShardFailed
+	}
+	if fails >= DegradeAfterFailures {
+		return ShardDegraded
+	}
+	if replicated && (repl.Failed > 0 || repl.Lagging > 0) {
+		return ShardDegraded
+	}
+	return ShardHealthy
+}
+
+const (
+	// breakerTripAfter consecutive ingest failures open a shard's
+	// circuit breaker.
+	breakerTripAfter = 5
+	// breakerProbeEvery admits every Nth request through an open
+	// breaker as a recovery probe.
+	breakerProbeEvery = 8
+)
+
+// ErrShardUnavailable is returned (wrapped) by the router when a
+// shard's circuit breaker is open and the request was not selected as a
+// recovery probe. The server maps it to 503 + Retry-After.
+var ErrShardUnavailable = errors.New("statusq: shard circuit breaker open")
+
+// breaker is a count-based per-shard circuit breaker: after
+// breakerTripAfter consecutive failures it fails fast without touching
+// the shard's storage, admitting every breakerProbeEvery-th request as
+// a probe; one probe success closes it. Count-based (not time-based) so
+// behavior is deterministic under test and independent of wall clocks.
+type breaker struct {
+	mu          sync.Mutex // guards open, consecFails, and sinceProbe
+	open        bool
+	consecFails int
+	sinceProbe  int
+}
+
+// allow reports whether the request may proceed to the shard (closed
+// breaker, or selected as a recovery probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	b.sinceProbe++
+	if b.sinceProbe >= breakerProbeEvery {
+		b.sinceProbe = 0
+		return true
+	}
+	return false
+}
+
+// note records the outcome of an allowed request, tripping or closing
+// the breaker.
+func (b *breaker) note(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.open = false
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	if !b.open && b.consecFails >= breakerTripAfter {
+		b.open = true
+		b.sinceProbe = 0
+		mShardBreakerTrips.Inc()
+	}
+}
+
+// isOpen reports the breaker's current state (observability hook).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// ShardHealthStatus is one shard's row in the router's health report
+// (the /readyz per-shard JSON body).
+type ShardHealthStatus struct {
+	// Shard is the shard index.
+	Shard int
+	// State is the shard's current health.
+	State ShardHealth
+	// Replicas and Live describe the shard's WAL replica set (1/1 when
+	// unreplicated and healthy-by-construction).
+	Replicas int
+	Live     int
+	// Lag is the replica set's catch-up lag in records (0 when
+	// unreplicated).
+	Lag uint64
+	// Promotable reports whether the shard can still acknowledge
+	// appends: a quorum of live replicas remains. Always false when
+	// unreplicated — there is no replica to promote.
+	Promotable bool
+	// BreakerOpen reports whether the router's circuit breaker is
+	// currently failing fast for this shard.
+	BreakerOpen bool
+}

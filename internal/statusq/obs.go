@@ -41,4 +41,14 @@ var (
 		"Engine lookups (point queries, batch rows, fleet sweeps) routed to each shard.", "shard")
 	mShardAvails = obs.NewGaugeVec("domd_shard_avails",
 		"Avails owned by each shard of a sharded catalog.", "shard")
+
+	// Shard health and resilience metrics (replicated WALs, retrying
+	// router). The health gauge encodes the ladder numerically so alert
+	// rules can threshold it: 0 healthy, 1 degraded, 2 failed.
+	mShardHealth = obs.NewGaugeVec("domd_shard_health",
+		"Shard health state: 0 healthy, 1 degraded, 2 failed.", "shard")
+	mShardIngestRetries = obs.NewCounter("domd_shard_ingest_retries_total",
+		"Ingest attempts retried by the router after a transient shard storage failure.")
+	mShardBreakerTrips = obs.NewCounter("domd_shard_breaker_trips_total",
+		"Per-shard circuit breakers tripped open after consecutive ingest failures.")
 )

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"domd/internal/domain"
 	"domd/internal/index"
@@ -26,11 +28,15 @@ const ringReplicas = 128
 // would silently orphan durable records; OpenSharded refuses instead.
 const topologyFile = "topology.json"
 
-// shardTopology is the persisted shard layout of a WAL root.
+// shardTopology is the persisted shard layout of a WAL root. Replicas
+// is the consistent-hash ring's virtual-node count; WALReplicas is the
+// per-shard WAL replica count (0 in topologies written before
+// replication existed, read as 1).
 type shardTopology struct {
-	Version  int `json:"version"`
-	Shards   int `json:"shards"`
-	Replicas int `json:"replicas"`
+	Version     int `json:"version"`
+	Shards      int `json:"shards"`
+	Replicas    int `json:"replicas"`
+	WALReplicas int `json:"wal_replicas,omitempty"`
 }
 
 // ringPoint is one virtual node: a shard's position on the hash ring.
@@ -159,6 +165,18 @@ type ShardedCatalog struct {
 	// at open so the hot paths never take the registry lock.
 	ingests []*obs.Counter
 	lookups []*obs.Counter
+
+	// health/breakers are the per-shard health state machines and
+	// circuit breakers driving the router's retry/fail-fast envelope;
+	// healthG are their resolved gauges.
+	health   []*healthTracker
+	breakers []*breaker
+	healthG  []*obs.Gauge
+
+	// jitter seeds retry-backoff jitter: a counter hashed through
+	// splitmix instead of global math/rand, keeping statusq free of
+	// ambient randomness.
+	jitter atomic.Uint64
 }
 
 // OpenSharded builds an N-shard sharded catalog over the base tables,
@@ -176,7 +194,7 @@ func OpenSharded(root string, shards int, avails []domain.Avail, rccs []domain.R
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("statusq: create WAL root: %w", err)
 	}
-	if err := pinTopology(root, shards); err != nil {
+	if err := pinTopology(root, shards, opts.Replicas); err != nil {
 		return nil, nil, err
 	}
 	ring := newShardRing(shards, ringReplicas)
@@ -193,12 +211,15 @@ func OpenSharded(root string, shards int, avails []domain.Avail, rccs []domain.R
 	}
 
 	sc := &ShardedCatalog{
-		kind:    kind,
-		ring:    ring,
-		shards:  make([]*DurableCatalog, shards),
-		dirs:    make([]string, shards),
-		ingests: make([]*obs.Counter, shards),
-		lookups: make([]*obs.Counter, shards),
+		kind:     kind,
+		ring:     ring,
+		shards:   make([]*DurableCatalog, shards),
+		dirs:     make([]string, shards),
+		ingests:  make([]*obs.Counter, shards),
+		lookups:  make([]*obs.Counter, shards),
+		health:   make([]*healthTracker, shards),
+		breakers: make([]*breaker, shards),
+		healthG:  make([]*obs.Gauge, shards),
 	}
 	info := &ShardedRestoreInfo{Shards: make([]ShardRestore, shards)}
 	for i := 0; i < shards; i++ {
@@ -215,14 +236,23 @@ func OpenSharded(root string, shards int, avails []domain.Avail, rccs []domain.R
 		label := strconv.Itoa(i)
 		sc.ingests[i] = mShardIngests.With(label)
 		sc.lookups[i] = mShardEngineLookups.With(label)
+		sc.health[i] = &healthTracker{}
+		sc.breakers[i] = &breaker{}
+		sc.healthG[i] = mShardHealth.With(label)
 		mShardAvails.With(label).Set(int64(len(shardAvails[i])))
 		info.Shards[i] = ShardRestore{Shard: i, Dir: dir, Avails: len(shardAvails[i]), Info: *ri}
 	}
 	return sc, info, nil
 }
 
-// pinTopology creates or verifies the root's topology metadata.
-func pinTopology(root string, shards int) error {
+// pinTopology creates or verifies the root's topology metadata,
+// including the per-shard WAL replica count: reopening a root with a
+// different replica count would abandon (or invent) replica
+// directories, so it fails like a shard-count change does.
+func pinTopology(root string, shards, walReplicas int) error {
+	if walReplicas < 1 {
+		walReplicas = 1
+	}
 	path := filepath.Join(root, topologyFile)
 	raw, err := os.ReadFile(path)
 	switch {
@@ -231,13 +261,20 @@ func pinTopology(root string, shards int) error {
 		if derr := json.Unmarshal(raw, &top); derr != nil {
 			return fmt.Errorf("statusq: decode %s: %w", path, derr)
 		}
+		if top.WALReplicas < 1 {
+			top.WALReplicas = 1 // pre-replication topology: single log per shard
+		}
 		if top.Shards != shards || top.Replicas != ringReplicas {
 			return fmt.Errorf("statusq: WAL root %s is laid out for %d shards (ring replicas %d), got -shards %d (replicas %d): re-sharding an existing root is not supported",
 				root, top.Shards, top.Replicas, shards, ringReplicas)
 		}
+		if top.WALReplicas != walReplicas {
+			return fmt.Errorf("statusq: WAL root %s is laid out with %d WAL replicas per shard, got -repl %d: changing replication of an existing root is not supported",
+				root, top.WALReplicas, walReplicas)
+		}
 		return nil
 	case os.IsNotExist(err):
-		raw, merr := json.Marshal(shardTopology{Version: 1, Shards: shards, Replicas: ringReplicas})
+		raw, merr := json.Marshal(shardTopology{Version: 1, Shards: shards, Replicas: ringReplicas, WALReplicas: walReplicas})
 		if merr != nil {
 			return fmt.Errorf("statusq: encode topology: %w", merr)
 		}
@@ -312,10 +349,20 @@ func (s *ShardedCatalog) Engine(id int) (*Engine, error) {
 }
 
 // EngineAsOf routes to the owning shard, preserving the single-catalog
-// stale/asOf provenance contract per shard.
+// stale/asOf provenance contract per shard — with one router-level
+// addition: answers from a shard in the failed health state are forced
+// stale=true, because a shard that cannot durably accept writes is by
+// definition serving a frozen view (the circuit breaker's
+// stale-serving mode).
 func (s *ShardedCatalog) EngineAsOf(id int) (eng *Engine, asOf int64, stale bool, err error) {
-	s.lookups[s.ring.shardOf(id)].Inc()
-	return s.shardFor(id).EngineAsOf(id)
+	shard := s.ring.shardOf(id)
+	s.lookups[shard].Inc()
+	eng, asOf, stale, err = s.shards[shard].EngineAsOf(id)
+	if err == nil && !stale && s.HealthOf(shard) == ShardFailed {
+		stale = true
+		mStaleServes.Inc()
+	}
+	return eng, asOf, stale, err
 }
 
 // Eval routes one Status Query evaluation to the owning shard.
@@ -323,13 +370,68 @@ func (s *ShardedCatalog) Eval(id int, ts float64, q Query) (float64, error) {
 	return s.shardFor(id).Eval(id, ts, q)
 }
 
-// Ingest routes one RCC to the owning shard's durable ingest path. The
-// per-shard log-before-ack and idempotency contracts are exactly
-// DurableCatalog.Ingest's; shards never share a WAL or an ingest lock.
+const (
+	// ingestRetries is the number of times the router re-attempts a
+	// transient shard storage failure before surfacing it.
+	ingestRetries = 2
+	// ingestRetryBase is the first retry's backoff; each further retry
+	// doubles it, jittered into [base/2, base].
+	ingestRetryBase = 2 * time.Millisecond
+)
+
+// Ingest routes one RCC to the owning shard's durable ingest path,
+// wrapped in the router's resilience envelope: transient storage
+// failures are retried with jittered exponential backoff, consecutive
+// failures trip the shard's circuit breaker (fail-fast with periodic
+// probes), and every outcome drives the shard's health state machine.
+// The per-shard log-before-ack and idempotency contracts are exactly
+// DurableCatalog.Ingest's; shards never share a WAL or an ingest lock,
+// and a retried append that already reached disk is collapsed by the
+// idempotency key exactly as a client retry would be.
 func (s *ShardedCatalog) Ingest(key string, r domain.RCC) (dup bool, err error) {
 	shard := s.ring.shardOf(r.AvailID)
 	s.ingests[shard].Inc()
-	return s.shards[shard].Ingest(key, r)
+	// Reject bad requests before touching the breaker or the shard:
+	// validation failures are the client's problem, not health signals.
+	if verr := r.Validate(); verr != nil {
+		return false, verr
+	}
+	if !s.breakers[shard].allow() {
+		return false, fmt.Errorf("statusq: shard %d: %w", shard, ErrShardUnavailable)
+	}
+	dup, err = s.shards[shard].Ingest(key, r)
+	for attempt := 0; err != nil && ingestRetryable(err) && attempt < ingestRetries; attempt++ {
+		mShardIngestRetries.Inc()
+		time.Sleep(s.backoff(attempt))
+		dup, err = s.shards[shard].Ingest(key, r)
+	}
+	if err == nil || !ingestRetryable(err) {
+		// Success, or a request-level rejection (unknown avail, closed
+		// catalog): the shard's storage is not implicated.
+		s.breakers[shard].note(true)
+		s.health[shard].noteIngest(true)
+	} else {
+		s.breakers[shard].note(false)
+		s.health[shard].noteIngest(false)
+	}
+	s.healthG[shard].Set(int64(s.HealthOf(shard)))
+	return dup, err
+}
+
+// ingestRetryable distinguishes transient storage failures (worth a
+// retry, and a health signal) from request-level rejections that no
+// retry can fix.
+func ingestRetryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrUnknownAvail) && !errors.Is(err, ErrNotReady)
+}
+
+// backoff computes the attempt'th retry delay: exponential from
+// ingestRetryBase, jittered into [d/2, d] by a splitmix-hashed counter
+// (no ambient randomness in statusq).
+func (s *ShardedCatalog) backoff(attempt int) time.Duration {
+	d := ingestRetryBase << attempt
+	frac := float64(ringHash(s.jitter.Add(1))) / float64(1<<32)
+	return d/2 + time.Duration(frac*float64(d/2))
 }
 
 // Ready reports readiness of the whole tier: every shard must be able
@@ -434,3 +536,46 @@ func (s *ShardedCatalog) SetDeltaApply(enabled bool) {
 // WALSeq reports shard i's WAL sequence number — a cheap proxy for
 // appended records used by tests asserting per-shard isolation.
 func (s *ShardedCatalog) WALSeq(i int) uint64 { return s.shards[i].log.Seq() }
+
+// HealthOf reports shard i's current health: the failure-streak state
+// machine folded with the shard's live replica status, so a quorum loss
+// is visible even before the next ingest attempt.
+func (s *ShardedCatalog) HealthOf(i int) ShardHealth {
+	repl, replicated := s.shards[i].ReplHealth()
+	h := s.health[i].state(repl, replicated)
+	s.healthG[i].Set(int64(h))
+	return h
+}
+
+// HealthForAvail reports the health of the shard owning an avail id —
+// the hook /fleet uses to annotate rows from degraded shards.
+func (s *ShardedCatalog) HealthForAvail(id int) ShardHealth {
+	return s.HealthOf(s.ring.shardOf(id))
+}
+
+// ShardHealths reports every shard's health, replica census, and
+// replication lag, in shard order — the /readyz per-shard body.
+func (s *ShardedCatalog) ShardHealths() []ShardHealthStatus {
+	out := make([]ShardHealthStatus, len(s.shards))
+	for i := range s.shards {
+		repl, replicated := s.shards[i].ReplHealth()
+		st := ShardHealthStatus{
+			Shard:       i,
+			State:       s.HealthOf(i),
+			Replicas:    1,
+			Live:        1,
+			BreakerOpen: s.breakers[i].isOpen(),
+		}
+		if replicated {
+			st.Replicas = repl.Replicas
+			st.Live = repl.Live
+			st.Lag = repl.Lag
+			st.Promotable = repl.QuorumOK
+		}
+		if !replicated && st.State == ShardFailed {
+			st.Live = 0
+		}
+		out[i] = st
+	}
+	return out
+}

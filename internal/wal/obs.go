@@ -21,3 +21,19 @@ var (
 	mTornTailCuts = obs.NewCounter("domd_wal_torn_tail_cuts_total",
 		"Torn or corrupt log tails cut off during restore.")
 )
+
+// Replication metrics (ReplicatedLog). Counters aggregate across every
+// replica set in the process; the lag gauge is per set, labeled by the
+// set name (the shard WAL directory under a sharded catalog).
+var (
+	mReplQuorumFailures = obs.NewCounter("domd_wal_repl_quorum_failures_total",
+		"Appends that could not reach quorum and were not acknowledged.")
+	mReplFailovers = obs.NewCounter("domd_wal_repl_failovers_total",
+		"Primary failovers: the acting primary replica failed an append and a healthier replica was promoted.")
+	mReplCatchupRecords = obs.NewCounter("domd_wal_repl_catchup_records_total",
+		"Records re-appended to lagging replicas by catch-up.")
+	mReplReplicaFaults = obs.NewCounter("domd_wal_repl_replica_faults_total",
+		"Individual replica append/snapshot faults (the set may still have reached quorum).")
+	mReplLag = obs.NewGaugeVec("domd_wal_repl_lag",
+		"Records the most-behind non-failed replica is missing, per replica set.", "set")
+)

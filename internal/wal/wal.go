@@ -302,13 +302,23 @@ func replayLog(path string, snapSeq uint64, rec *Recovered) (uint64, error) {
 // cut records a torn tail and physically truncates the log back to the
 // last intact record so future appends extend a clean file. Truncation
 // failure is deliberately non-fatal: replay already holds the valid
-// prefix, and the next Open will re-cut.
+// prefix, and the next Open will re-cut. A truncation that did happen is
+// made durable — the file's new size is fsynced and then the parent
+// directory, mirroring the snapshot temp+rename dir-fsync discipline —
+// so a crash *during recovery* cannot resurrect the damaged suffix.
 func cut(path string, size, offset int64, rec *Recovered) {
 	rec.Info.TornTail = true
 	rec.Info.TornOffset = offset
 	rec.Info.TornBytes = size - offset
 	mTornTailCuts.Inc()
-	os.Truncate(path, offset) //lint:ignore droppederr best-effort cleanup; next Open re-cuts at the same boundary
+	if err := os.Truncate(path, offset); err != nil {
+		return // best-effort cleanup; next Open re-cuts at the same boundary
+	}
+	if f, err := os.OpenFile(path, os.O_WRONLY, 0); err == nil {
+		f.Sync()  //lint:ignore droppederr best-effort durability of the cut; next Open re-cuts if it was lost
+		f.Close() //lint:ignore droppederr read-side handle; nothing to lose on close
+	}
+	syncDir(filepath.Dir(path)) //lint:ignore droppederr best-effort durability of the cut; next Open re-cuts if it was lost
 }
 
 // readSnapshot loads and verifies the snapshot file. A missing snapshot
@@ -388,9 +398,27 @@ func (l *Log) Seq() uint64 {
 // temp file, fsynced, renamed, directory fsynced) before the log is
 // touched; a crash between the two steps merely leaves log records the
 // next replay skips by sequence number.
-func (l *Log) Snapshot(payload []byte) (err error) {
+func (l *Log) Snapshot(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.snapshotLocked(payload, l.seq)
+}
+
+// SnapshotAt atomically replaces the snapshot with payload framed at the
+// explicit sequence seq and truncates the log, leaving the log positioned
+// so the next Append is seq+1. It is the wholesale-revival primitive for
+// replication: a lagging or diverged replica adopts the authoritative
+// snapshot in one atomic step regardless of its own tail. Callers own the
+// claim that payload folds in every record up to and including seq.
+func (l *Log) SnapshotAt(payload []byte, seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked(payload, seq)
+}
+
+// snapshotLocked writes a snapshot framed at seq and truncates the log.
+// Callers hold l.mu.
+func (l *Log) snapshotLocked(payload []byte, seq uint64) (err error) {
 	defer func() {
 		if err != nil {
 			mCompactionFailures.Inc()
@@ -399,7 +427,7 @@ func (l *Log) Snapshot(payload []byte) (err error) {
 	if l.closed {
 		return ErrClosed
 	}
-	line, err := frame(l.seq, payload)
+	line, err := frame(seq, payload)
 	if err != nil {
 		return err
 	}
@@ -427,8 +455,124 @@ func (l *Log) Snapshot(payload []byte) (err error) {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	l.f = f
+	l.seq = seq
 	l.unsynced = 0
 	mCompactions.Inc()
+	return nil
+}
+
+// Rewind truncates the log so its last record is sequence `to`, discarding
+// any later records, and repositions the next Append at to+1. It exists
+// for replication: after a failed replica append the tail's durability is
+// unknown, so the replica is rewound to its last acknowledged watermark
+// before catch-up extends a known-good prefix. Rewinding past the start
+// of the log (into snapshot-covered territory) or forward past the
+// current sequence is an error.
+func (l *Log) Rewind(to uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if to > l.seq {
+		return fmt.Errorf("wal: rewind forward (have seq %d, want %d)", l.seq, to)
+	}
+	if to == l.seq {
+		return nil
+	}
+	path := filepath.Join(l.dir, logName)
+	offset, err := offsetAfter(path, to)
+	if err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rewind: %w", err)
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("wal: rewind: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rewind: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:ignore droppederr best-effort close on an already-failing path
+		return fmt.Errorf("wal: rewind: %w", err)
+	}
+	l.f = f
+	l.seq = to
+	l.unsynced = 0
+	return nil
+}
+
+// offsetAfter scans the log at path and returns the byte offset just
+// past the record with sequence `to` — the truncation point that makes
+// `to` the last record. An offset of 0 is valid when every record in the
+// file is later than `to`; a gap (the file starts past to+1) is an error
+// because truncation could not restore a contiguous tail.
+func offsetAfter(path string, to uint64) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("wal: rewind: log file missing")
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: rewind: %w", err)
+	}
+	defer f.Close() //lint:ignore droppederr read-only scan; nothing to lose on close
+	var (
+		r      = bufio.NewReader(f)
+		offset int64
+		first  = true
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			return offset, nil // any unread tail is torn debris the truncate drops too
+		}
+		if err != nil {
+			return 0, fmt.Errorf("wal: rewind: %w", err)
+		}
+		seq, _, perr := parseFrame(line[:len(line)-1])
+		if perr != nil {
+			return offset, nil // corrupt tail: truncating at offset drops it as a bonus
+		}
+		if first && seq > to+1 {
+			return 0, fmt.Errorf("wal: rewind: log starts at seq %d, cannot rewind to %d", seq, to)
+		}
+		first = false
+		if seq > to {
+			return offset, nil
+		}
+		offset += int64(len(line))
+	}
+}
+
+// Reset discards the snapshot and every log record, returning the log to
+// the empty state with sequence 0. It is the last-resort replica rebuild
+// path when the authoritative replica has no snapshot to adopt.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := os.Remove(filepath.Join(l.dir, snapName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close() //lint:ignore droppederr best-effort close on an already-failing path
+		return err
+	}
+	l.f = f
+	l.seq = 0
+	l.unsynced = 0
 	return nil
 }
 
