@@ -22,8 +22,9 @@ race:
 	$(GO) test -race ./...
 
 # stress repeats the concurrent-serving suite (parallel /query + /fleet +
-# AddRCC over httptest, plus the catalog and index concurrency gates) under
-# the race detector.
+# AddRCC over httptest, the /predict-under-hot-swap gate
+# TestConcurrentPredictHotSwap, plus the catalog and index concurrency
+# gates) under the race detector.
 stress:
 	$(GO) test -race -count $(STRESS_COUNT) -timeout $(STRESS_TIMEOUT) \
 		-run 'Concurrent|SingleFlight|CachedEngine' \
@@ -95,11 +96,14 @@ check:
 
 # bench runs the Go micro-benchmarks (including the statusq
 # ApplyRCC-vs-rebuild pair backing DESIGN.md §4.3), then the loadgen
-# harness, which rewrites BENCH_6.json from a live served workload, and
-# finally the shard-scaling scenario, which rewrites BENCH_7.json from a
-# fsync-per-ack sweep of 1..8 shards (powers of two).
+# harness, which rewrites BENCH_6.json from a live served workload, the
+# shard-scaling scenario, which rewrites BENCH_7.json from a
+# fsync-per-ack sweep of 1..8 shards (powers of two), and the
+# prediction-serving scenario, which rewrites BENCH_10.json from a
+# /predict-heavy workload under rolling model hot-swaps.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) test -run '^$$' -bench 'ApplyRCC|RebuildAfterIngest' -benchmem ./internal/statusq/
 	$(GO) run ./cmd/domd loadgen -duration 5s -serve-rccs 1500 -micro-iters 300 -out BENCH_6.json
 	$(GO) run ./cmd/domd loadgen -scenario shards -shards 8 -duration 3s -out BENCH_7.json
+	$(GO) run ./cmd/domd loadgen -scenario predict -duration 5s -serve-rccs 1500 -out BENCH_10.json

@@ -43,6 +43,7 @@ import (
 	"domd/internal/fusion"
 	"domd/internal/index"
 	"domd/internal/ml/gbt"
+	"domd/internal/modelserve"
 	"domd/internal/navsim"
 	"domd/internal/obs"
 	"domd/internal/server"
@@ -104,6 +105,13 @@ type scenarioReport struct {
 	// request-duration histogram buckets (client-side percentiles above
 	// include network and client scheduling).
 	QueryP95ServerMS float64 `json:"query_p95_server_ms"`
+	// PredictP95ServerMS is the /predict p95 from the same histograms;
+	// ModelP95MS is the model-evaluation slice of it
+	// (domd_predict_duration_seconds, no HTTP or engine lookup).
+	PredictP95ServerMS float64 `json:"predict_p95_server_ms,omitempty"`
+	ModelP95MS         float64 `json:"model_p95_ms,omitempty"`
+	// Swaps counts the hot-swaps the scenario performed mid-flight.
+	Swaps int `json:"swaps,omitempty"`
 }
 
 // microReport is the in-process ingest-then-query micro-benchmark.
@@ -154,19 +162,23 @@ func runLoadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	cfg := loadgenConfig{}
 	fs.StringVar(&cfg.addr, "addr", "", "target server base URL (empty: self-serve a synthetic fleet in-process)")
-	fs.StringVar(&cfg.scenario, "scenario", "delta", "workload scenario: delta (HTTP A/B of the O(delta) ingest path) or shards (direct-drive shard-scaling of the durable catalog)")
+	fs.StringVar(&cfg.scenario, "scenario", "delta", "workload scenario: delta (HTTP A/B of the O(delta) ingest path), shards (direct-drive shard-scaling of the durable catalog), or predict (prediction serving under rolling hot-swaps)")
 	fs.DurationVar(&cfg.duration, "duration", 3*time.Second, "wall-clock length of each workload scenario")
 	fs.IntVar(&cfg.clients, "clients", 4, "closed-loop client goroutines")
 	fs.IntVar(&cfg.serveRCCs, "serve-rccs", 1500, "mean RCCs per served avail in self-serve mode")
 	fs.IntVar(&cfg.shards, "shards", 4, "shard count compared against a single shard by -scenario shards")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed (dataset and workload)")
 	fs.IntVar(&cfg.microIters, "micro-iters", 200, "iterations of the apply-vs-rebuild micro-benchmark")
-	fs.StringVar(&cfg.out, "out", "", "report output path (default BENCH_6.json; BENCH_7.json for -scenario shards)")
+	fs.StringVar(&cfg.out, "out", "", "report output path (default BENCH_6.json; BENCH_7.json for -scenario shards, BENCH_10.json for -scenario predict)")
 	parseFlags(fs, args)
 	if cfg.out == "" {
-		cfg.out = "BENCH_6.json"
-		if cfg.scenario == "shards" {
+		switch cfg.scenario {
+		case "shards":
 			cfg.out = "BENCH_7.json"
+		case "predict":
+			cfg.out = "BENCH_10.json"
+		default:
+			cfg.out = "BENCH_6.json"
 		}
 	}
 	report, err := loadgen(cfg)
@@ -186,8 +198,10 @@ func loadgen(cfg loadgenConfig) (*loadgenReport, error) {
 	case "", "delta":
 	case "shards":
 		return shardScaling(cfg)
+	case "predict":
+		return predictLoadgen(cfg)
 	default:
-		return nil, fmt.Errorf("loadgen: unknown -scenario %q (want delta or shards)", cfg.scenario)
+		return nil, fmt.Errorf("loadgen: unknown -scenario %q (want delta, shards, or predict)", cfg.scenario)
 	}
 	report := &loadgenReport{
 		GeneratedBy: "domd loadgen",
@@ -273,30 +287,44 @@ func loadgen(cfg loadgenConfig) (*loadgenReport, error) {
 // test suite uses: a baseline GBT with few rounds over a compact closed
 // fleet — quick to train, fully exercises the query path.
 func fastPipeline(seed int64) (*core.Pipeline, *features.Extractor, error) {
+	pipe, ext, _, _, err := fastStack(seed)
+	return pipe, ext, err
+}
+
+// fastStack is fastPipeline plus the tensor and splits it trained from,
+// for scenarios that also need to publish model artifacts.
+func fastStack(seed int64) (*core.Pipeline, *features.Extractor, *features.Tensor, split.Splits, error) {
 	ds, err := navsim.Generate(navsim.Config{NumClosed: 40, NumOngoing: 3, MeanRCCsPerAvail: 40, Seed: seed})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, split.Splits{}, err
 	}
 	ext := features.NewExtractor()
 	tensor, err := features.BuildTensor(ext, ds.Avails, ds.RCCsByAvail(), 25, index.KindAVL)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, split.Splits{}, err
 	}
 	sp, err := split.Make(split.DefaultConfig(), tensor.Avails)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, split.Splits{}, err
 	}
+	cfg := fastTrainConfig()
+	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
+	if err != nil {
+		return nil, nil, nil, split.Splits{}, err
+	}
+	return pipe, ext, tensor, sp, nil
+}
+
+// fastTrainConfig is the compact GBT configuration every loadgen
+// training run shares.
+func fastTrainConfig() core.Config {
 	cfg := core.BaselineConfig()
 	cfg.Fusion = fusion.MethodAverage
 	p := gbt.DefaultParams()
 	p.NumRounds = 15
 	p.LearningRate = 0.3
 	cfg.GBTParams = &p
-	pipe, err := core.Train(cfg, tensor, sp.Train, sp.Val)
-	if err != nil {
-		return nil, nil, err
-	}
-	return pipe, ext, nil
+	return cfg
 }
 
 // nextRCCID hands out process-unique ingest ids far above any generated
@@ -511,7 +539,16 @@ func sumSeries(m map[string]float64, prefix string) float64 {
 // histPercentile estimates a percentile from the before/after delta of a
 // cumulative histogram's buckets for one route label.
 func histPercentile(before, after map[string]float64, family, route string, q float64) float64 {
-	prefix := fmt.Sprintf(`%s_bucket{route=%q,le="`, family, route)
+	return histPercentilePrefix(before, after, fmt.Sprintf(`%s_bucket{route=%q,le="`, family, route), q)
+}
+
+// histPercentileUnlabeled is histPercentile for a histogram family with
+// no labels beyond le.
+func histPercentileUnlabeled(before, after map[string]float64, family string, q float64) float64 {
+	return histPercentilePrefix(before, after, family+`_bucket{le="`, q)
+}
+
+func histPercentilePrefix(before, after map[string]float64, prefix string, q float64) float64 {
 	type bucket struct {
 		le    float64
 		count float64
@@ -829,11 +866,218 @@ func driveShardTier(fleet *navsim.Dataset, n, workers int, cfg loadgenConfig) (s
 	}, nil
 }
 
+// predictLoadgen measures the prediction-serving tier under operator
+// churn: it trains and publishes a model version, mounts the real
+// server.New handler with a registry (`domd serve -model-dir` wiring),
+// and drives a closed-loop /predict-heavy workload while a rollout
+// goroutine publishes and hot-swaps a new version every few hundred
+// milliseconds. The numbers that matter: /predict latency percentiles
+// (client- and server-side), the model-evaluation slice of them, zero
+// errors and zero prediction_unavailable answers across every swap.
+func predictLoadgen(cfg loadgenConfig) (*loadgenReport, error) {
+	if cfg.addr != "" {
+		return nil, fmt.Errorf("loadgen: -scenario predict is self-serve only (it must publish versions into the registry directory)")
+	}
+	pipe, ext, tensor, sp, err := fastStack(cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train pipeline: %w", err)
+	}
+	tv, err := modelserve.TrainVersion(tensor, sp.Train, sp.Val, modelserve.TrainOptions{
+		Windows: []modelserve.Window{{Lo: 0, Hi: 50}, {Lo: 50, Hi: 100}},
+		Alpha:   modelserve.DefaultAlpha,
+		Version: "v001",
+		Config:  fastTrainConfig(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train model version: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "domd-loadgen-models-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) //lint:ignore droppederr best-effort cleanup of a throwaway temp root
+	if _, err := tv.WriteTo(dir, true); err != nil {
+		return nil, err
+	}
+	reg, err := modelserve.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	serve, err := navsim.Generate(navsim.Config{
+		NumClosed: 4, NumOngoing: 3, MeanRCCsPerAvail: float64(cfg.serveRCCs), Seed: cfg.seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: serving fleet: %w", err)
+	}
+	catalog, err := statusq.NewCatalog(serve.Avails, serve.RCCs, index.KindAVL)
+	if err != nil {
+		return nil, err
+	}
+	handler := server.New(pipe, ext, catalog, server.Options{Models: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("loadgen server close: %v", err)
+		}
+		if err := <-srvErr; err != nil && err != http.ErrServerClosed {
+			log.Printf("loadgen server: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	ongoing, err := fetchOngoing(base)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range ongoing {
+		if err := doPredict(&http.Client{}, base, &a, 60); err != nil {
+			return nil, fmt.Errorf("loadgen: warm-up predict avail %d: %w", a.ID, err)
+		}
+	}
+
+	before, err := scrape(base)
+	if err != nil {
+		return nil, err
+	}
+	lat := &opLatencies{byOp: map[string][]float64{}}
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			client := &http.Client{}
+			for op := 0; time.Now().Before(deadline); op++ {
+				a := ongoing[rng.Intn(len(ongoing))]
+				ts := 20 + rng.Float64()*70
+				var kind string
+				var err error
+				start := time.Now()
+				switch {
+				case op%16 == 11:
+					kind = "fleet"
+					err = doFleet(client, base, &a)
+				default:
+					kind = "predict"
+					err = doPredict(client, base, &a, ts)
+				}
+				if err != nil {
+					lat.fail()
+					continue
+				}
+				lat.add(kind, float64(time.Since(start).Microseconds())/1000)
+			}
+		}(c)
+	}
+
+	// The rollout loop: publish a cloned version (an operator rollout is
+	// a manifest edit — the artifacts are already proven) and hot-swap it
+	// while the readers run.
+	swaps := 0
+	swapErr := func() error {
+		client := &http.Client{}
+		for n := 2; time.Now().Before(deadline); n++ {
+			man, err := modelserve.ReadManifest(dir)
+			if err != nil {
+				return err
+			}
+			active, ok := man.Version(man.Active)
+			if !ok {
+				return fmt.Errorf("loadgen: no active version to clone")
+			}
+			clone := *active
+			clone.Version = fmt.Sprintf("v%03d", n)
+			man.Versions = append(man.Versions, clone)
+			man.Active = clone.Version
+			if err := man.Write(dir); err != nil {
+				return err
+			}
+			resp, err := client.Post(base+"/models/reload", "application/json", nil)
+			if err != nil {
+				return err
+			}
+			if err := drain(resp, http.StatusOK); err != nil {
+				return fmt.Errorf("loadgen: reload %s: %w", clone.Version, err)
+			}
+			swaps++
+			time.Sleep(200 * time.Millisecond)
+		}
+		return nil
+	}()
+	wg.Wait()
+	if swapErr != nil {
+		return nil, swapErr
+	}
+	after, err := scrape(base)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := scenarioReport{
+		Name:   "predict",
+		Errors: lat.errors,
+		Swaps:  swaps,
+		Ops:    map[string]opReport{},
+		Metrics: map[string]float64{
+			"model_swaps":         after["domd_model_swaps_total"] - before["domd_model_swaps_total"],
+			"model_loads":         after["domd_model_loads_total"] - before["domd_model_loads_total"],
+			"model_load_failures": after["domd_model_load_failures_total"] - before["domd_model_load_failures_total"],
+			"window_fallbacks":    after["domd_model_window_fallbacks_total"] - before["domd_model_window_fallbacks_total"],
+			"predict_unavailable": after["domd_predict_unavailable_total"] - before["domd_predict_unavailable_total"],
+			"requests":            sumSeries(after, "domd_http_requests_total{") - sumSeries(before, "domd_http_requests_total{"),
+		},
+		PredictP95ServerMS: histPercentile(before, after, "domd_http_request_duration_seconds", "/predict", 0.95) * 1000,
+		ModelP95MS:         histPercentileUnlabeled(before, after, "domd_predict_duration_seconds", 0.95) * 1000,
+	}
+	for op, samples := range lat.byOp {
+		sc.Ops[op] = summarize(samples)
+	}
+	report := &loadgenReport{
+		GeneratedBy: "domd loadgen",
+		Config: map[string]any{
+			"scenario":   "predict",
+			"duration":   cfg.duration.String(),
+			"clients":    cfg.clients,
+			"serve_rccs": cfg.serveRCCs,
+			"seed":       cfg.seed,
+		},
+		Scenarios: []scenarioReport{sc},
+	}
+	emitBench(report)
+	return report, nil
+}
+
+// doPredict issues one GET /predict and requires a clean 200.
+func doPredict(client *http.Client, base string, a *domain.Avail, ts float64) error {
+	url := fmt.Sprintf("%s/predict?avail=%d&date=%s", base, a.ID, a.PhysicalTime(ts))
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp, http.StatusOK)
+}
+
 // emitBench prints the headline numbers as "BENCH <name> <value>" lines.
 func emitBench(r *loadgenReport) {
 	for _, sc := range r.Scenarios {
 		for op, s := range sc.Ops {
 			fmt.Printf("BENCH loadgen/%s/%s_p95_ms %.3f\n", sc.Name, op, s.P95MS)
+		}
+		if sc.Name == "predict" {
+			fmt.Printf("BENCH loadgen/predict/swaps %d\n", sc.Swaps)
+			fmt.Printf("BENCH loadgen/predict/errors %d\n", sc.Errors)
+			fmt.Printf("BENCH loadgen/predict/unavailable %.0f\n", sc.Metrics["predict_unavailable"])
+			fmt.Printf("BENCH loadgen/predict/predict_p95_server_ms %.3f\n", sc.PredictP95ServerMS)
+			fmt.Printf("BENCH loadgen/predict/model_p95_ms %.3f\n", sc.ModelP95MS)
+			continue
 		}
 		fmt.Printf("BENCH loadgen/%s/engine_builds %.0f\n", sc.Name, sc.Metrics["engine_builds"])
 		fmt.Printf("BENCH loadgen/%s/delta_applies %.0f\n", sc.Name, sc.Metrics["delta_applies"])

@@ -8,6 +8,11 @@
 //	domd query    -avails a.csv -rccs r.csv -avail 188 -date 2023-06-01
 //	domd evaluate -avails a.csv -rccs r.csv
 //	domd design   -avails a.csv -rccs r.csv [-quick]
+//	domd train    -avails a.csv -rccs r.csv -model-dir models
+//	domd serve    -avails a.csv -rccs r.csv -model-dir models -addr :8080
+//
+// The full list lives in the subcommands table, which both the dispatcher
+// and the usage text render from, so `domd -h` cannot lag the binary.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,12 +36,32 @@ import (
 	"domd/internal/features"
 	"domd/internal/index"
 	"domd/internal/ml/gbt"
+	"domd/internal/modelserve"
 	"domd/internal/server"
 	"domd/internal/split"
 	"domd/internal/statusq"
 	"domd/internal/table"
 	"domd/internal/wal"
 )
+
+// subcommands is the single source of truth for the CLI surface: main
+// dispatches from it and usage() renders it, so the help text cannot
+// drift from what the binary actually runs (scripts/check_docs.sh
+// additionally checks every name here is documented in README.md).
+var subcommands = []struct {
+	name, blurb string
+	run         func([]string)
+}{
+	{"query", "estimate delay of one avail at a physical date", runQuery},
+	{"evaluate", "train on the historical split and print test-set quality", runEvaluate},
+	{"design", "run the greedy pipeline design (Problem 2)", runDesign},
+	{"train", "train one model per logical-time window and publish a version into the model registry", runTrain},
+	{"serve", "train (or -load) a pipeline and serve the SMDII JSON API", runServe},
+	{"backtest", "walk-forward (rolling-origin) evaluation across history", runBacktest},
+	{"importances", "train (or -load) a pipeline and print the global delay drivers", runImportances},
+	{"drift", "compare live feature distributions against a reference fleet", runDrift},
+	{"loadgen", "drive a mixed query/ingest workload and write latency+ingest-cost benchmarks", runLoadgen},
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,38 +70,24 @@ func main() {
 		usage()
 	}
 	cmd, args := os.Args[1], os.Args[2:]
-	switch cmd {
-	case "query":
-		runQuery(args)
-	case "evaluate":
-		runEvaluate(args)
-	case "design":
-		runDesign(args)
-	case "serve":
-		runServe(args)
-	case "backtest":
-		runBacktest(args)
-	case "importances":
-		runImportances(args)
-	case "drift":
-		runDrift(args)
-	case "loadgen":
-		runLoadgen(args)
-	default:
-		usage()
+	for _, sc := range subcommands {
+		if sc.name == cmd {
+			sc.run(args)
+			return
+		}
 	}
+	usage()
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: domd <query|evaluate|design|serve> [flags]
-  query    estimate delay of one avail at a physical date
-  evaluate train on the historical split and print test-set quality
-  design   run the greedy pipeline design (Problem 2)
-  serve    train (or -load) a pipeline and serve the SMDII JSON API
-  backtest walk-forward (rolling-origin) evaluation across history
-  importances train (or -load) a pipeline and print the global delay drivers
-  drift    compare live feature distributions against a reference fleet
-  loadgen  drive a mixed query/ingest workload and write latency+ingest-cost benchmarks`)
+	names := make([]string, len(subcommands))
+	for i, sc := range subcommands {
+		names[i] = sc.name
+	}
+	fmt.Fprintf(os.Stderr, "usage: domd <%s> [flags]\n", strings.Join(names, "|"))
+	for _, sc := range subcommands {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", sc.name, sc.blurb)
+	}
 	os.Exit(2)
 }
 
@@ -306,6 +318,54 @@ func runDesign(args []string) {
 		rep.Final.Loss, rep.Final.HPTTrials, rep.Final.Fusion)
 }
 
+// runTrain is the training half of the model-serving lifecycle: fit one
+// pipeline + conformal calibration per logical-time window, stamp the
+// artifacts with content digests, and publish them as a version into the
+// model registry directory that `domd serve -model-dir` serves from.
+func runTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	c := addCommon(fs)
+	modelDir := fs.String("model-dir", "models", "model registry directory to publish the version into")
+	windows := fs.String("windows", "0-50,50-100", "comma-separated logical-time windows lo-hi (percent of planned duration); one model is trained and conformal-calibrated per window")
+	version := fs.String("version", "", "version name for the published artifacts (default: content-derived v<hash12>)")
+	alpha := fs.Float64("alpha", modelserve.DefaultAlpha, "default conformal miscoverage level recorded for the version (0.1 = 90% bands)")
+	activate := fs.Bool("activate", true, "point the manifest's active version at the new artifacts (false: stage for a later rollout)")
+	parseFlags(fs, args)
+	wins, err := modelserve.ParseWindows(*windows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *alpha <= 0 || *alpha >= 1 {
+		log.Fatalf("-alpha %g outside (0,1)", *alpha)
+	}
+	avails, rccs := load(c)
+	_, tensor, sp := buildTensor(c, avails, rccs)
+	cfg := core.DefaultConfig()
+	cfg.HPTTrials = c.trials
+	cfg.Seed = c.seed
+	cfg.Workers = c.workers
+	tv, err := modelserve.TrainVersion(tensor, sp.Train, sp.Val, modelserve.TrainOptions{
+		Windows: wins, Alpha: *alpha, Version: *version, Config: cfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	name, err := tv.WriteTo(*modelDir, *activate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published model version %s to %s\n", name, *modelDir)
+	for _, w := range tv.Windows() {
+		fmt.Printf("  window %s trained on %d avails, calibrated on %d (alpha %g)\n",
+			w, len(sp.Train), len(sp.Val), tv.Alpha)
+	}
+	if *activate {
+		fmt.Printf("manifest active version: %s (running servers pick it up on POST /models/reload)\n", name)
+	} else {
+		fmt.Printf("version %s staged; edit %s/%s to activate\n", name, *modelDir, modelserve.ManifestName)
+	}
+}
+
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	c := addCommon(fs)
@@ -327,6 +387,9 @@ func runServe(args []string) {
 	replQuorum := fs.Int("repl-quorum", 0, "replicas that must append before an ingest is acknowledged (0: majority of -repl)")
 	replLagMax := fs.Int("repl-lag-max", wal.DefaultReplMaxLag, "records a replica may fall behind before it is failed out of async catch-up (revived by the next snapshot)")
 	dedupCap := fs.Int("dedup-cap", statusq.DefaultDedupCap, "max idempotency keys tracked per catalog shard (negative: unbounded)")
+	modelDir := fs.String("model-dir", "", "serve /predict and fleet predictions from the model registry in this directory (empty: prediction answers carry prediction_unavailable)")
+	modelReload := fs.Duration("model-reload", 0, "poll the model registry and hot-swap new versions this often (0: swap only via POST /models/reload)")
+	predictAlpha := fs.Float64("predict-alpha", 0, "conformal miscoverage level for served bands (0: the active model version's recorded default)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiles on this address (empty: disabled; keep it loopback-only)")
 	quiet := fs.Bool("quiet", false, "disable per-request trace logging")
 	// -h prints the endpoint table after the flags, from the same
@@ -347,6 +410,26 @@ func runServe(args []string) {
 		MaxInFlight:      *maxInFlight,
 		RequestTimeout:   *requestTimeout,
 		MaxBodyBytes:     *maxBody,
+	}
+	if *predictAlpha < 0 || *predictAlpha >= 1 {
+		log.Fatalf("-predict-alpha %g outside (0,1)", *predictAlpha)
+	}
+	// The model registry is optional and its failures are non-fatal: a
+	// serving tier with a bad model directory still answers every read,
+	// annotated prediction_unavailable, until a reload succeeds.
+	var registry *modelserve.Registry
+	if *modelDir != "" {
+		reg, err := modelserve.Open(*modelDir)
+		if err != nil {
+			log.Printf("model registry %s: load failed, predictions unavailable until a reload succeeds: %v", *modelDir, err)
+		} else if v := reg.ActiveVersion(); v != "" {
+			log.Printf("model registry %s: serving version %s", *modelDir, v)
+		} else {
+			log.Printf("model registry %s: no active version yet (run `domd train`, then POST /models/reload)", *modelDir)
+		}
+		registry = reg
+		opts.Models = reg
+		opts.PredictAlpha = *predictAlpha
 	}
 	if *shards < 1 {
 		log.Fatal("-shards must be at least 1")
@@ -475,6 +558,27 @@ func runServe(args []string) {
 	// in-flight requests for up to -shutdown-timeout, then force-closes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Auto-reload: poll the registry manifest and hot-swap new versions
+	// without an operator POST. Exits with the serve context.
+	if registry != nil && *modelReload > 0 {
+		go func() {
+			t := time.NewTicker(*modelReload)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if rep, err := registry.Reload(); err != nil {
+						log.Printf("model auto-reload: %v", err)
+					} else if rep.Swapped {
+						log.Printf("model auto-reload: now serving version %s", rep.Active)
+					}
+				}
+			}
+		}()
+	}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()

@@ -56,6 +56,32 @@ func NewConformal(p *Pipeline, tensor *features.Tensor, calibRows []int) (*Confo
 	return c, nil
 }
 
+// Residuals exposes the calibration state for model-artifact persistence:
+// Residuals()[k] holds the ascending |fused − truth| values at grid index
+// k. The returned slices alias the Conformal's state — callers serialize
+// them, they must not mutate them.
+func (c *Conformal) Residuals() [][]float64 { return c.residuals }
+
+// NewConformalFromResiduals reconstructs a calibrated Conformal from a
+// residual matrix produced by Residuals — the deserialization half of
+// model-artifact persistence (internal/modelserve). The matrix must carry
+// one ascending row of at least two residuals per pipeline grid slot,
+// mirroring the NewConformal calibration minimum.
+func NewConformalFromResiduals(p *Pipeline, residuals [][]float64) (*Conformal, error) {
+	if len(residuals) != len(p.timestamps) {
+		return nil, fmt.Errorf("core: %d residual rows for %d pipeline slots", len(residuals), len(p.timestamps))
+	}
+	for k, rs := range residuals {
+		if len(rs) < 2 {
+			return nil, fmt.Errorf("core: residual row %d has %d values, need >= 2", k, len(rs))
+		}
+		if !sort.Float64sAreSorted(rs) {
+			return nil, fmt.Errorf("core: residual row %d is not ascending", k)
+		}
+	}
+	return &Conformal{pipeline: p, residuals: residuals}, nil
+}
+
 // Margin returns the conformal half-width at grid index k for miscoverage
 // alpha (e.g. 0.1 → 90% interval): the ⌈(n+1)(1−α)⌉-th smallest calibration
 // residual. alpha must lie in (0, 1).

@@ -11,7 +11,7 @@ import (
 // godoc there is operator documentation, so it is held to the godoc
 // convention mechanically. Pipeline packages are out of scope — their
 // audience is the paper reproduction, covered by DESIGN.md.
-var docstringPackages = []string{"obs", "wal", "statusq", "server"}
+var docstringPackages = []string{"obs", "wal", "statusq", "server", "modelserve"}
 
 // Docstring enforces the godoc convention on operator-facing packages:
 // every exported type, function, and method (on an exported receiver
@@ -19,7 +19,7 @@ var docstringPackages = []string{"obs", "wal", "statusq", "server"}
 // identifier's name (types may lead with "A", "An", or "The").
 var Docstring = &Analyzer{
 	Name: "docstring",
-	Doc:  "exported identifiers in operator-facing packages (obs, wal, statusq, server) need doc comments starting with the name",
+	Doc:  "exported identifiers in operator-facing packages (obs, wal, statusq, server, modelserve) need doc comments starting with the name",
 	AppliesTo: func(pkgPath string) bool {
 		return pathHasSegment(pkgPath, docstringPackages...)
 	},

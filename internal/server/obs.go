@@ -28,6 +28,10 @@ func Endpoints() []Endpoint {
 		{"GET", "/query", "avail=ID&date=YYYY-MM-DD", "DoMD estimate for one avail, with stale/asOf degraded-answer markers"},
 		{"GET", "/fleet", "date=YYYY-MM-DD", "DoMD estimates for every ongoing avail, bounded-parallel, per-avail error isolation"},
 		{"POST", "/query/batch", "", "many DoMD queries in one JSON body; one engine lookup per distinct avail, bounded-parallel, per-row error isolation"},
+		{"GET", "/predict", "avail=ID&date=YYYY-MM-DD&alpha=0.1", "predicted delay with conformal band and model version; degraded answers carry prediction_unavailable, never a 5xx"},
+		{"POST", "/predict", "", "many predictions in one JSON body; one engine lookup per distinct avail, bounded-parallel, per-row error isolation"},
+		{"GET", "/models", "", "model registry listing: every manifest version with window coverage and artifact digests, plus the active version and any load error"},
+		{"POST", "/models/reload", "", "hot-swap the model registry from -model-dir: atomic snapshot swap, in-flight requests finish on the old version, a failed load keeps the old version serving"},
 		{"POST", "/rccs", "", "ingest one RCC JSON body; WAL-backed acknowledgment when serving durably (Idempotency-Key dedups retries)"},
 		{"GET", "/metrics", "", "Prometheus text-format metrics; the full catalog is docs/OPERATIONS.md (bypasses load shedding)"},
 	}
@@ -88,4 +92,6 @@ var (
 		"Requests shed with 503 by the concurrency limiter.")
 	mPanics = obs.NewCounter("domd_http_panics_total",
 		"Handler panics recovered by the middleware (process kept serving).")
+	mPredictUnavailable = obs.NewCounter("domd_predict_unavailable_total",
+		"Prediction requests and fleet rows answered prediction_unavailable (no registry configured, empty registry, or model failure) instead of a 5xx.")
 )

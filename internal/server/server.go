@@ -11,12 +11,27 @@
 //	GET  /fleet?date=2024-04-12            DoMD for every ongoing avail
 //	POST /query/batch                      many DoMD queries in one request
 //	                                       (one engine lookup per avail)
+//	GET  /predict?avail=ID&date=...        predicted delay + conformal band
+//	                                       + model version (Options.Models)
+//	POST /predict                          many predictions in one request
+//	GET  /models                           model registry listing
+//	POST /models/reload                    hot-swap the model registry
 //	POST /rccs                             ingest one RCC (contract change)
 //	GET  /metrics                          Prometheus text-format metrics
 //
 // The canonical endpoint table is Endpoints (obs.go); New registers the
 // mux from it, `domd serve -h` prints it, and docs/OPERATIONS.md is
 // cross-checked against it, so the three surfaces cannot drift.
+//
+// # Predictions
+//
+// When Options.Models wires a modelserve.Registry, /predict serves the
+// paper's end product — a predicted days-of-maintenance-delay per ongoing
+// avail with a split-conformal band — and every /fleet row is annotated
+// with predicted_delay, band_lo/band_hi, and model_version. Prediction
+// failures follow the same degraded-answer contract as stale serving: a
+// missing registry, an empty one, or a model error annotates the row
+// prediction_unavailable rather than failing the read.
 //
 // # Ingestion
 //
@@ -81,6 +96,7 @@ import (
 	"domd/internal/domain"
 	"domd/internal/features"
 	"domd/internal/index"
+	"domd/internal/modelserve"
 	"domd/internal/obs"
 	"domd/internal/statusq"
 	"domd/internal/swlin"
@@ -140,6 +156,14 @@ type Options struct {
 	// duration) plus panic and write-failure reports. nil disables
 	// request logging.
 	Logger *log.Logger
+	// Models serves /predict and annotates /fleet rows with predictions.
+	// nil serves without a model registry: those answers carry
+	// prediction_unavailable and /models/reload answers 503.
+	Models *modelserve.Registry
+	// PredictAlpha is the conformal miscoverage level served when a
+	// request does not pass ?alpha=; <= 0 defers to the active model
+	// version's default (modelserve.DefaultAlpha when none is loaded).
+	PredictAlpha float64
 }
 
 // Catalog is the queryable serving surface the handlers read from. Both
@@ -173,6 +197,8 @@ type Server struct {
 	timeout  time.Duration // 0 when the deadline is disabled
 	maxBody  int64
 	logger   *log.Logger
+	models   *modelserve.Registry // nil when serving without models
+	alpha    float64              // default conformal miscoverage level
 	// latEWMA is math.Float64bits of an exponentially weighted moving
 	// average of request latency in seconds; Retry-After on 503s is
 	// derived from it (see retryAfterSeconds).
@@ -195,6 +221,8 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog Catalog, opts Option
 		fleetPar: par,
 		maxBody:  opts.MaxBodyBytes,
 		logger:   opts.Logger,
+		models:   opts.Models,
+		alpha:    opts.PredictAlpha,
 	}
 	if s.ingester == nil {
 		// A catalog that can ingest durably (a sharded tier) handles its
@@ -229,14 +257,18 @@ func New(p *core.Pipeline, ext *features.Extractor, catalog Catalog, opts Option
 	// handler (or vice versa) fails the first constructed server, which
 	// every test exercises.
 	handlers := map[string]http.HandlerFunc{
-		"GET /healthz":      s.handleHealth,
-		"GET /readyz":       s.handleReady,
-		"GET /avails":       s.handleAvails,
-		"GET /query":        s.handleQuery,
-		"GET /fleet":        s.handleFleet,
-		"POST /query/batch": s.handleQueryBatch,
-		"POST /rccs":        s.handleIngest,
-		"GET /metrics":      obs.Handler().ServeHTTP,
+		"GET /healthz":        s.handleHealth,
+		"GET /readyz":         s.handleReady,
+		"GET /avails":         s.handleAvails,
+		"GET /query":          s.handleQuery,
+		"GET /fleet":          s.handleFleet,
+		"POST /query/batch":   s.handleQueryBatch,
+		"GET /predict":        s.handlePredict,
+		"POST /predict":       s.handlePredictBatch,
+		"GET /models":         s.handleModels,
+		"POST /models/reload": s.handleModelsReload,
+		"POST /rccs":          s.handleIngest,
+		"GET /metrics":        obs.Handler().ServeHTTP,
 	}
 	for _, e := range Endpoints() {
 		pattern := e.Method + " " + e.Path
@@ -680,12 +712,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // unqueryable avail doesn't hide the rest of the fleet. Result rows carry
 // the same "stale"/"asOf" degraded-answer markers as /query, plus a
 // "degraded" flag when the owning shard's health ladder is below healthy
-// (the answer may be correct-but-stale while the shard recovers).
+// (the answer may be correct-but-stale while the shard recovers). When a
+// model registry serves, each row additionally carries the predicted
+// delay, its conformal band, and the producing model version — or
+// prediction_unavailable under the same degraded-answer contract.
 type fleetRow struct {
-	AvailID  int        `json:"avail_id"`
-	Degraded bool       `json:"degraded,omitempty"`
-	Result   *queryView `json:"result,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	AvailID               int        `json:"avail_id"`
+	Degraded              bool       `json:"degraded,omitempty"`
+	PredictedDelay        *float64   `json:"predicted_delay,omitempty"`
+	BandLo                *float64   `json:"band_lo,omitempty"`
+	BandHi                *float64   `json:"band_hi,omitempty"`
+	ModelVersion          string     `json:"model_version,omitempty"`
+	WindowFallback        bool       `json:"window_fallback,omitempty"`
+	PredictionUnavailable bool       `json:"prediction_unavailable,omitempty"`
+	Result                *queryView `json:"result,omitempty"`
+	Error                 string     `json:"error,omitempty"`
 }
 
 // availHealth is implemented by catalogs that can resolve an avail to
@@ -713,11 +754,24 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			view, err := s.queryOne(r.Context(), id, at)
+			// Resolve the engine once and share it between the query
+			// render and the prediction annotation, so the model answer
+			// describes exactly the history the estimates were served from.
+			if err := r.Context().Err(); err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			eng, asOf, stale, err := s.catalog.EngineAsOf(id)
 			if err != nil {
 				rows[i].Error = err.Error()
 			} else {
-				rows[i].Result = view
+				view, err := s.renderQuery(eng, asOf, stale, at)
+				if err != nil {
+					rows[i].Error = err.Error()
+				} else {
+					rows[i].Result = view
+					s.annotatePrediction(&rows[i], eng, at)
+				}
 			}
 			if ah != nil && ah.HealthForAvail(id) != statusq.ShardHealthy {
 				rows[i].Degraded = true
@@ -726,19 +780,47 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if sp := obs.FromContext(r.Context()); sp != nil {
-		stale, failed := 0, 0
+		stale, failed, unavailable := 0, 0, 0
 		for i := range rows {
 			if rows[i].Error != "" {
 				failed++
 			} else if rows[i].Result != nil && rows[i].Result.Stale {
 				stale++
 			}
+			if rows[i].PredictionUnavailable {
+				unavailable++
+			}
 		}
 		sp.SetInt("rows", int64(len(rows)))
 		sp.SetInt("staleRows", int64(stale))
 		sp.SetInt("failedRows", int64(failed))
+		sp.SetInt("unavailablePredictions", int64(unavailable))
 	}
 	s.writeJSON(w, r, http.StatusOK, rows)
+}
+
+// annotatePrediction folds the model registry's answer into a fleet row:
+// predicted delay, conformal band, and model version — or
+// prediction_unavailable when no registry serves, the registry is empty,
+// or the model fails. Never an error: fleet reads stay 200 (the PR-4
+// degraded-answer contract).
+func (s *Server) annotatePrediction(row *fleetRow, eng *statusq.Engine, at domain.Day) {
+	if s.models == nil {
+		row.PredictionUnavailable = true
+		mPredictUnavailable.Inc()
+		return
+	}
+	pred, err := s.models.Predict(eng, at, s.alpha)
+	if err != nil {
+		row.PredictionUnavailable = true
+		mPredictUnavailable.Inc()
+		return
+	}
+	row.PredictedDelay = &pred.Delay
+	row.BandLo = &pred.Lo
+	row.BandHi = &pred.Hi
+	row.ModelVersion = pred.Version
+	row.WindowFallback = pred.WindowFallback
 }
 
 // MaxBatchQueries caps one POST /query/batch request; beyond it the batch

@@ -177,6 +177,15 @@ func NewEngine(a *domain.Avail, rccs []domain.RCC, kind index.Kind) (*Engine, er
 // Avail returns the engine's avail.
 func (e *Engine) Avail() *domain.Avail { return e.avail }
 
+// LogicalTime maps a physical query date to the engine's avail-local
+// logical time t* (percent of planned duration; may exceed 100 when the
+// avail runs past plan, negative before the actual start). Serving-tier
+// feature extraction for live avails — /query trajectories and /predict
+// model routing alike — keys off this value.
+func (e *Engine) LogicalTime(at domain.Day) (float64, error) {
+	return e.avail.LogicalTime(at)
+}
+
 // NumRCCs reports the indexed RCC count.
 func (e *Engine) NumRCCs() int {
 	e.mu.RLock()

@@ -7,7 +7,10 @@
 #   1. every endpoint row of server.Endpoints() ("METHOD /path"),
 #   2. every `domd serve` flag (runServe plus the shared addCommon set),
 #   3. every faultinject failpoint name,
-#   4. the README link to the operations doc.
+#   4. the README link to the operations doc,
+#   5. every served path and every `domd` subcommand in README.md — the
+#      README's tour of the API surface may lag the code no more than
+#      the operations doc may.
 #
 # Metric-name agreement is NOT checked here anymore: the domdlint
 # `metriccatalog` analyzer walks the type-checked registration sites and
@@ -65,6 +68,26 @@ if ! grep -q "docs/OPERATIONS.md" README.md; then
 	echo "check_docs: README.md does not link docs/OPERATIONS.md"
 	fail=1
 fi
+
+# 5. README surface drift: every served path (from the same Endpoints()
+# table) and every `domd` subcommand (from the dispatch table in
+# cmd/domd/main.go) must be mentioned somewhere in the README.
+paths=$(printf '%s\n' "$endpoints" | awk '{print $2}' | sort -u)
+for p in $paths; do
+	if ! grep -qF "$p" README.md; then
+		echo "check_docs: endpoint path $p (server.Endpoints) not mentioned in README.md"
+		fail=1
+	fi
+done
+subcommands=$(awk '/^var subcommands = /,/^}$/' cmd/domd/main.go |
+	sed -n 's/^[[:space:]]*{"\([a-z]*\)", .*/\1/p')
+[ -n "$subcommands" ] || { echo "check_docs: extracted no subcommands from cmd/domd/main.go"; exit 1; }
+for s in $subcommands; do
+	if ! grep -q "domd $s" README.md; then
+		echo "check_docs: subcommand \"domd $s\" not mentioned in README.md"
+		fail=1
+	fi
+done
 
 if [ "$fail" -ne 0 ]; then
 	echo "check_docs: FAILED — update docs/OPERATIONS.md to match the code"
